@@ -1,0 +1,117 @@
+//! `vx-baselines` — comparison-system harness (DESIGN.md row 9).
+//!
+//! The paper benchmarks VX against four classes of systems: a native XML
+//! store (Galax-like), an XML-on-BDB mapping, a column store (MonetDB-
+//! like shredding), and edge-relation SQL. None of those systems ship in
+//! this repository; this crate pins down the *interface* a baseline must
+//! implement so the benchmark harness can be written against it, and
+//! provides named stubs that report themselves as unavailable instead of
+//! silently measuring nothing.
+
+use std::fmt;
+use vx_xml::Document;
+
+/// A baseline failed (today: always "not wired up").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The baseline is a stub; `.0` names it.
+    Unimplemented(&'static str),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Unimplemented(name) => {
+                write!(f, "baseline `{name}` is not wired up in this build")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// What every comparison system must support: load a document, evaluate a
+/// query (XQ text for XML systems, SQL for relational ones), report size.
+pub trait Baseline {
+    /// Human-readable system name (paper's table row).
+    fn name(&self) -> &'static str;
+
+    /// Ingests a document, returning the stored size in bytes.
+    fn load(&mut self, doc: &Document) -> Result<u64>;
+
+    /// Evaluates a query, returning result values as strings.
+    fn query(&mut self, query: &str) -> Result<Vec<String>>;
+}
+
+macro_rules! stub_baseline {
+    ($(#[$doc:meta])* $ty:ident, $name:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy)]
+        pub struct $ty;
+
+        impl Baseline for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn load(&mut self, _doc: &Document) -> Result<u64> {
+                Err(BaselineError::Unimplemented($name))
+            }
+
+            fn query(&mut self, _query: &str) -> Result<Vec<String>> {
+                Err(BaselineError::Unimplemented($name))
+            }
+        }
+    };
+}
+
+stub_baseline!(
+    /// Native XQuery processor over in-memory trees (Galax-class).
+    GxLike,
+    "gx-like"
+);
+stub_baseline!(
+    /// XML nodes mapped onto a B-tree key/value store (BDB-class).
+    BdbLike,
+    "bdb-like"
+);
+stub_baseline!(
+    /// Column-store shredding of XML (MonetDB/XML-class).
+    MonetLike,
+    "monet-like"
+);
+stub_baseline!(
+    /// Edge-relation encoding in a row-oriented SQL engine.
+    SqlLike,
+    "sql-like"
+);
+
+/// All known baselines, boxed behind the common trait.
+pub fn all() -> Vec<Box<dyn Baseline>> {
+    vec![
+        Box::new(GxLike),
+        Box::new(BdbLike),
+        Box::new(MonetLike),
+        Box::new(SqlLike),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stubs_report_unimplemented() {
+        for mut baseline in all() {
+            let doc = Document::from_root(vx_xml::Element::new("r"));
+            let err = baseline.load(&doc).unwrap_err();
+            assert_eq!(err, BaselineError::Unimplemented(baseline.name()));
+            assert!(baseline
+                .query("for $x in doc(\"d\")/r return $x/t")
+                .is_err());
+        }
+    }
+}

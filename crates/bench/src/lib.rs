@@ -1,0 +1,79 @@
+//! `vx-bench` — measurement harness (DESIGN.md row 10).
+//!
+//! Produced the checked-in `bench_results/` (stores built from MedLine-
+//! and SkyServer-shaped corpora at several sizes). This build carries
+//! only the pieces the rest of the workspace needs: size accounting for
+//! a store directory and a stopwatch-free summary type — timing runs and
+//! plots return in a later PR (see ROADMAP.md).
+
+use std::path::Path;
+use vx_core::{CoreError, Store};
+
+/// Size breakdown of one persisted store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSizes {
+    /// Bytes of `skeleton.vxsk`.
+    pub skeleton_bytes: u64,
+    /// Bytes across all `v*.vec` files.
+    pub vector_bytes: u64,
+    /// Bytes of `catalog.json`.
+    pub catalog_bytes: u64,
+}
+
+impl StoreSizes {
+    pub fn total(&self) -> u64 {
+        self.skeleton_bytes + self.vector_bytes + self.catalog_bytes
+    }
+
+    /// Measures a store directory on disk (no decoding).
+    pub fn measure(dir: &Path) -> std::io::Result<StoreSizes> {
+        let mut sizes = StoreSizes {
+            skeleton_bytes: 0,
+            vector_bytes: 0,
+            catalog_bytes: 0,
+        };
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let len = entry.metadata()?.len();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name == "skeleton.vxsk" {
+                sizes.skeleton_bytes = len;
+            } else if name == "catalog.json" {
+                sizes.catalog_bytes = len;
+            } else if name.ends_with(".vec") {
+                sizes.vector_bytes += len;
+            }
+        }
+        Ok(sizes)
+    }
+}
+
+/// Builds a store from a generated corpus and reports its sizes —
+/// the vectorize half of the paper's Table 1 experiment.
+pub fn build_and_measure(
+    dir: &Path,
+    doc: &vx_xml::Document,
+) -> std::result::Result<StoreSizes, CoreError> {
+    let vec_doc = vx_core::vectorize(doc)?;
+    Store::save(dir, &vec_doc, vx_core::Compaction::Auto)?;
+    StoreSizes::measure(dir).map_err(CoreError::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_measures_a_generated_store() {
+        let dir = std::env::temp_dir().join("vx-bench-test-store");
+        let _ = std::fs::remove_dir_all(&dir);
+        let doc = vx_data::medline(42, 8);
+        let sizes = build_and_measure(&dir, &doc).unwrap();
+        assert!(sizes.skeleton_bytes > 0);
+        assert!(sizes.vector_bytes > 0);
+        assert!(sizes.catalog_bytes > 0);
+        assert_eq!(sizes.total(), StoreSizes::measure(&dir).unwrap().total());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

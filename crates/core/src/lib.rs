@@ -1,0 +1,95 @@
+//! `vx-core` — vectorization and the persistent store (DESIGN.md row 6).
+//!
+//! Implements the paper's §2 end-to-end:
+//!
+//! * [`vectorize`] — `VEC(T) = (S, V)`: one linear pass over the DOM that
+//!   hash-conses the skeleton bottom-up and appends every text value to the
+//!   data vector of its root-to-text tag path (Prop 2.1, `O(|T|)`).
+//! * [`reconstruct`] — the inverse: one skeleton walk that pulls values
+//!   from per-path cursors in document order (Prop 2.2, `O(|T|)`,
+//!   lossless).
+//! * [`Store`] — the on-disk layout used by the surviving
+//!   `bench_results/stores/`: a directory with `skeleton.vxsk`,
+//!   `v{NNNNNN}.vec`, and `catalog.json`, plus a salvage loader for stores
+//!   damaged by the seed capture's byte-dropping sanitizer.
+
+pub mod json;
+mod reconstruct;
+mod store;
+mod vecdoc;
+mod vectorize;
+
+pub use reconstruct::{reconstruct, reconstruct_salvage, ReconstructReport};
+pub use store::{Catalog, CatalogEntry, Compaction, SalvageStore, Store};
+pub use vecdoc::{PathVector, VecDoc};
+pub use vectorize::{vectorize, vectorize_with, VectorizeOptions};
+
+use std::fmt;
+
+/// Errors produced by the core layer (converging point for the layers
+/// below; `xmlvec::Error` wraps this one level further up).
+#[derive(Debug)]
+pub enum CoreError {
+    Xml(vx_xml::XmlError),
+    Storage(vx_storage::StorageError),
+    Skeleton(vx_skeleton::SkeletonError),
+    Vector(vx_vector::VectorError),
+    Io(std::io::Error),
+    /// Malformed `catalog.json`.
+    Catalog(String),
+    /// Input DOM contains a construct vectorization cannot represent
+    /// losslessly (comments / processing instructions) in strict mode.
+    Unsupported(String),
+    /// Cross-file inconsistency in a store (counts, missing vectors, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Xml(e) => write!(f, "{e}"),
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::Skeleton(e) => write!(f, "{e}"),
+            CoreError::Vector(e) => write!(f, "{e}"),
+            CoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            CoreError::Catalog(m) => write!(f, "bad catalog.json: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported content: {m}"),
+            CoreError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<vx_xml::XmlError> for CoreError {
+    fn from(e: vx_xml::XmlError) -> Self {
+        CoreError::Xml(e)
+    }
+}
+
+impl From<vx_storage::StorageError> for CoreError {
+    fn from(e: vx_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<vx_skeleton::SkeletonError> for CoreError {
+    fn from(e: vx_skeleton::SkeletonError) -> Self {
+        CoreError::Skeleton(e)
+    }
+}
+
+impl From<vx_vector::VectorError> for CoreError {
+    fn from(e: vx_vector::VectorError) -> Self {
+        CoreError::Vector(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,191 @@
+//! Lossless reconstruction `VEC(T) → T` (Prop 2.2).
+
+use crate::vecdoc::VecDoc;
+use crate::{CoreError, Result};
+use vx_skeleton::NodeId;
+use vx_xml::{Document, Element, Node};
+
+/// What a salvage reconstruction had to invent.
+#[derive(Debug, Clone, Default)]
+pub struct ReconstructReport {
+    /// Text positions whose vector was missing or exhausted; an empty
+    /// string was substituted.
+    pub missing_values: u64,
+    /// Values that were not valid UTF-8 (lossily converted).
+    pub non_utf8_values: u64,
+}
+
+impl ReconstructReport {
+    pub fn is_lossless(&self) -> bool {
+        self.missing_values == 0 && self.non_utf8_values == 0
+    }
+}
+
+/// Strict reconstruction: every `#` position must find its value, every
+/// vector must be fully consumed, and all values must be UTF-8.
+pub fn reconstruct(doc: &VecDoc) -> Result<Document> {
+    let (document, report, cursors) = reconstruct_inner(doc, true)?;
+    debug_assert!(report.is_lossless());
+    for (i, vector) in doc.vectors().iter().enumerate() {
+        if cursors[i] != vector.values.len() {
+            return Err(CoreError::Corrupt(format!(
+                "vector `{}` has {} values but the skeleton consumed {}",
+                vector.path,
+                vector.values.len(),
+                cursors[i],
+            )));
+        }
+    }
+    Ok(document)
+}
+
+/// Best-effort reconstruction for salvaged stores: missing values become
+/// empty strings and the report says how many were invented.
+pub fn reconstruct_salvage(doc: &VecDoc) -> Result<(Document, ReconstructReport)> {
+    let (document, report, _) = reconstruct_inner(doc, false)?;
+    Ok((document, report))
+}
+
+struct Walk<'a> {
+    doc: &'a VecDoc,
+    /// Next unread value index per vector, parallel to `doc.vectors()`.
+    cursors: Vec<usize>,
+    report: ReconstructReport,
+    strict: bool,
+    path: String,
+}
+
+fn reconstruct_inner(
+    doc: &VecDoc,
+    strict: bool,
+) -> Result<(Document, ReconstructReport, Vec<usize>)> {
+    let root = doc
+        .root
+        .ok_or_else(|| CoreError::Corrupt("vectorized document has no root".into()))?;
+    if doc.skeleton.node(root).name.is_none() {
+        return Err(CoreError::Corrupt("root node is a text marker".into()));
+    }
+    let mut walk = Walk {
+        doc,
+        cursors: vec![0; doc.vectors().len()],
+        report: ReconstructReport::default(),
+        strict,
+        path: String::new(),
+    };
+    let element = build_element(&mut walk, root)?;
+    Ok((Document::from_root(element), walk.report, walk.cursors))
+}
+
+fn build_element(walk: &mut Walk<'_>, node: NodeId) -> Result<Element> {
+    let data = walk.doc.skeleton.node(node).clone();
+    let name_id = data
+        .name
+        .ok_or_else(|| CoreError::Corrupt("unexpected text marker as element".into()))?;
+    let name = walk.doc.skeleton.name(name_id).to_string();
+    let parent_len = walk.path.len();
+    if !walk.path.is_empty() {
+        walk.path.push('/');
+    }
+    walk.path.push_str(&name);
+
+    let mut element = Element::new(name);
+    for edge in &data.edges {
+        for _ in 0..edge.run {
+            let child = walk.doc.skeleton.node(edge.child);
+            match child.name {
+                None => {
+                    let value = take_value(walk)?;
+                    element.children.push(Node::Text(value));
+                }
+                Some(child_name_id) => {
+                    let child_name = walk.doc.skeleton.name(child_name_id).to_string();
+                    if let Some(attr_name) = child_name.strip_prefix('@') {
+                        // Attribute encoding: `@name` wraps a single '#'.
+                        let attr_path_len = walk.path.len();
+                        walk.path.push('/');
+                        walk.path.push_str(&child_name);
+                        let value = take_value(walk)?;
+                        walk.path.truncate(attr_path_len);
+                        element.attributes.push((attr_name.to_string(), value));
+                    } else {
+                        element
+                            .children
+                            .push(Node::Element(build_element(walk, edge.child)?));
+                    }
+                }
+            }
+        }
+    }
+    walk.path.truncate(parent_len);
+    Ok(element)
+}
+
+fn take_value(walk: &mut Walk<'_>) -> Result<String> {
+    let index = walk.doc.vector_position(&walk.path);
+    let raw = index.and_then(|i| {
+        let position = walk.cursors[i];
+        walk.cursors[i] += 1;
+        walk.doc.vectors()[i].values.get(position)
+    });
+    match raw {
+        Some(bytes) => match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) if walk.strict => Err(CoreError::Corrupt(format!(
+                "non-UTF-8 value in vector `{}`",
+                walk.path
+            ))),
+            Err(_) => {
+                walk.report.non_utf8_values += 1;
+                Ok(String::from_utf8_lossy(bytes).into_owned())
+            }
+        },
+        None if walk.strict => Err(CoreError::Corrupt(format!(
+            "vector `{}` exhausted or missing during reconstruction",
+            walk.path
+        ))),
+        None => {
+            walk.report.missing_values += 1;
+            Ok(String::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectorize::vectorize;
+    use vx_xml::parse;
+
+    fn round_trip(src: &str) {
+        let doc = parse(src).unwrap();
+        let v = vectorize(&doc).unwrap();
+        let back = reconstruct(&v).unwrap();
+        assert_eq!(doc.root, back.root, "round trip failed for {src}");
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip("<a/>");
+        round_trip("<a>text</a>");
+        round_trip("<a><b>1</b><b>2</b><b>1</b></a>");
+        round_trip(r#"<a x="1" y="2"><b z="3">t</b></a>"#);
+        round_trip("<p>one <b>two</b> three</p>"); // mixed content
+        round_trip("<a><b><c><d>deep</d></c></b></a>");
+        round_trip("<a><b></b><b>x</b></a>"); // empty vs non-empty siblings
+    }
+
+    #[test]
+    fn reconstruction_detects_short_vectors() {
+        let doc = parse("<a><b>1</b><b>2</b></a>").unwrap();
+        let v = vectorize(&doc).unwrap();
+        let mut corrupted = crate::vecdoc::VecDoc::new(v.skeleton.clone(), v.root);
+        for vec in v.vectors() {
+            let mut vec = vec.clone();
+            vec.values.pop();
+            corrupted.insert_vector(vec);
+        }
+        assert!(reconstruct(&corrupted).is_err());
+        let (_, report) = reconstruct_salvage(&corrupted).unwrap();
+        assert_eq!(report.missing_values, 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! The persistent store: a directory with `skeleton.vxsk`, numbered
+//! `v{NNNNNN}.vec` files, and `catalog.json`.
+//!
+//! ```json
+//! {
+//!   "vectors": [
+//!     {"path": "…/PMID", "file": "v000000.vec", "count": 4000, "data_bytes": 36000},
+//!     …
+//!   ],
+//!   "node_count": 168129,
+//!   "text_bytes": 1620783
+//! }
+//! ```
+//!
+//! `count` is the number of text occurrences of the path, `data_bytes` the
+//! byte length of the `.vec` record/code stream, `node_count` the expanded
+//! (uncompressed) element+text node count of the document, and
+//! `text_bytes` the sum of raw value lengths. This matches the surviving
+//! `bench_results/stores/` catalogs byte-for-byte in structure.
+
+use crate::json::{self, Json};
+use crate::vecdoc::{PathVector, VecDoc};
+use crate::{CoreError, Result};
+use std::fs;
+use std::path::{Path, PathBuf};
+use vx_skeleton::format as skformat;
+use vx_vector::{Vector, Writer as VectorWriter};
+
+/// One catalog row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    pub path: String,
+    pub file: String,
+    pub count: u64,
+    pub data_bytes: u64,
+}
+
+/// The parsed `catalog.json`.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    pub vectors: Vec<CatalogEntry>,
+    pub node_count: u64,
+    pub text_bytes: u64,
+}
+
+impl Catalog {
+    pub fn parse(text: &str) -> Result<Catalog> {
+        let value = json::parse(text).map_err(CoreError::Catalog)?;
+        let vectors_json = value
+            .get("vectors")
+            .and_then(Json::as_array)
+            .ok_or_else(|| CoreError::Catalog("missing `vectors` array".into()))?;
+        let mut vectors = Vec::with_capacity(vectors_json.len());
+        for (i, row) in vectors_json.iter().enumerate() {
+            let field = |name: &str| {
+                row.get(name)
+                    .ok_or_else(|| CoreError::Catalog(format!("vector {i}: missing `{name}`")))
+            };
+            vectors.push(CatalogEntry {
+                path: field("path")?
+                    .as_str()
+                    .ok_or_else(|| CoreError::Catalog(format!("vector {i}: `path` not a string")))?
+                    .to_string(),
+                file: field("file")?
+                    .as_str()
+                    .ok_or_else(|| CoreError::Catalog(format!("vector {i}: `file` not a string")))?
+                    .to_string(),
+                count: field("count")?
+                    .as_u64()
+                    .ok_or_else(|| CoreError::Catalog(format!("vector {i}: bad `count`")))?,
+                data_bytes: field("data_bytes")?
+                    .as_u64()
+                    .ok_or_else(|| CoreError::Catalog(format!("vector {i}: bad `data_bytes`")))?,
+            });
+        }
+        let u64_field = |name: &str| {
+            value
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CoreError::Catalog(format!("missing or bad `{name}`")))
+        };
+        Ok(Catalog {
+            vectors,
+            node_count: u64_field("node_count")?,
+            text_bytes: u64_field("text_bytes")?,
+        })
+    }
+
+    pub fn to_json(&self) -> String {
+        let vectors = self
+            .vectors
+            .iter()
+            .map(|e| {
+                Json::Object(vec![
+                    ("path".into(), Json::Str(e.path.clone())),
+                    ("file".into(), Json::Str(e.file.clone())),
+                    ("count".into(), Json::Num(e.count as f64)),
+                    ("data_bytes".into(), Json::Num(e.data_bytes as f64)),
+                ])
+            })
+            .collect();
+        json::to_string_pretty(&Json::Object(vec![
+            ("vectors".into(), Json::Array(vectors)),
+            ("node_count".into(), Json::Num(self.node_count as f64)),
+            ("text_bytes".into(), Json::Num(self.text_bytes as f64)),
+        ]))
+    }
+}
+
+/// Vector file compaction policy on save.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compaction {
+    /// Always write plain (version 1) vectors.
+    #[default]
+    None,
+    /// Per vector, write the dictionary form when it is smaller (§6's
+    /// compacted-store extension; the `ss-1500-compact` golden store).
+    Auto,
+}
+
+/// Persistent store operations.
+pub struct Store;
+
+impl Store {
+    /// Writes `doc` as a store directory (created if needed). Existing
+    /// vector files in the directory are not deleted first; the catalog is
+    /// the source of truth for which files belong to the store.
+    pub fn save(dir: &Path, doc: &VecDoc, compaction: Compaction) -> Result<Catalog> {
+        let root = doc
+            .root
+            .ok_or_else(|| CoreError::Corrupt("cannot save a document with no root".into()))?;
+        fs::create_dir_all(dir)?;
+        let skeleton_bytes = skformat::write(&doc.skeleton, root);
+        fs::write(dir.join("skeleton.vxsk"), &skeleton_bytes)?;
+
+        let mut entries = Vec::new();
+        for (i, vector) in doc.vectors().iter().enumerate() {
+            let mut writer = VectorWriter::new();
+            for value in &vector.values {
+                writer.push(value);
+            }
+            let bytes = match compaction {
+                Compaction::None => writer.encode_plain(),
+                Compaction::Auto => writer.encode_auto(),
+            };
+            // data stream = everything between the 5-byte header and the
+            // 28-byte trailer minus the skip index; recompute from a strict
+            // decode for an exact catalog.
+            let decoded = Vector::decode(&bytes)?;
+            let file = format!("v{i:06}.vec");
+            fs::write(dir.join(&file), &bytes)?;
+            entries.push(CatalogEntry {
+                path: vector.path.clone(),
+                file,
+                count: vector.values.len() as u64,
+                data_bytes: decoded.stats().data_bytes,
+            });
+        }
+        let catalog = Catalog {
+            vectors: entries,
+            node_count: doc.node_count(),
+            text_bytes: doc.text_bytes(),
+        };
+        fs::write(dir.join("catalog.json"), catalog.to_json())?;
+        Ok(catalog)
+    }
+
+    /// Strict load: every file must decode cleanly and agree with the
+    /// catalog.
+    pub fn open(dir: &Path) -> Result<(VecDoc, Catalog)> {
+        let catalog = read_catalog(dir)?;
+        let skeleton_bytes = fs::read(dir.join("skeleton.vxsk"))?;
+        let (skeleton, root) = skformat::read(&skeleton_bytes)?;
+        let mut doc = VecDoc::new(skeleton, Some(root));
+        for entry in &catalog.vectors {
+            let vector = Vector::open(&dir.join(&entry.file))?;
+            if vector.len() != entry.count {
+                return Err(CoreError::Corrupt(format!(
+                    "vector `{}`: catalog says {} records, file has {}",
+                    entry.path,
+                    entry.count,
+                    vector.len()
+                )));
+            }
+            if vector.stats().data_bytes != entry.data_bytes {
+                return Err(CoreError::Corrupt(format!(
+                    "vector `{}`: catalog says {} data bytes, file has {}",
+                    entry.path,
+                    entry.data_bytes,
+                    vector.stats().data_bytes
+                )));
+            }
+            doc.insert_vector(PathVector {
+                path: entry.path.clone(),
+                values: vector.iter().map(<[u8]>::to_vec).collect(),
+            });
+        }
+        Ok((doc, catalog))
+    }
+
+    /// Salvage load for the damaged golden stores: drives every reader in
+    /// lenient mode off the catalog, tolerates missing vector files, and
+    /// reports exactly what was recovered. Strictly read-only.
+    pub fn open_salvage(dir: &Path) -> Result<SalvageStore> {
+        let catalog = read_catalog(dir)?;
+        let skeleton_bytes = fs::read(dir.join("skeleton.vxsk"))?;
+        let (raw, skeleton_report) = skformat::read_lenient(&skeleton_bytes)?;
+        // The sanitizer shrank the root's damaged edge-count varint, so the
+        // true root record is not necessarily last; pick the record with
+        // the most edges (the root fans out to every top-level subtree).
+        let root_record = raw
+            .nodes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, n)| (n.edges.len(), *i))
+            .map(|(i, _)| i)
+            .ok_or_else(|| CoreError::Corrupt("skeleton has no node records".into()))?;
+        let (skeleton, root) = skformat::rebuild_lenient(&raw, root_record)?;
+        let mut doc = VecDoc::new(skeleton, Some(root));
+        let mut missing_files = Vec::new();
+        let mut damaged_files = Vec::new();
+        let mut loaded = 0usize;
+        for entry in &catalog.vectors {
+            let path: PathBuf = dir.join(&entry.file);
+            if !path.exists() {
+                missing_files.push(entry.file.clone());
+                doc.insert_vector(PathVector {
+                    path: entry.path.clone(),
+                    values: Vec::new(),
+                });
+                continue;
+            }
+            // A damaged record-length varint can throw the whole stream
+            // off; keep whatever the reader managed and carry on.
+            let values = match Vector::open_salvage(&path, entry.count) {
+                Ok(vector) => {
+                    loaded += 1;
+                    vector.iter().map(<[u8]>::to_vec).collect()
+                }
+                Err(e) => {
+                    damaged_files.push((entry.file.clone(), e.to_string()));
+                    Vec::new()
+                }
+            };
+            doc.insert_vector(PathVector {
+                path: entry.path.clone(),
+                values,
+            });
+        }
+        Ok(SalvageStore {
+            doc,
+            catalog,
+            skeleton_report,
+            raw_skeleton: raw,
+            missing_files,
+            damaged_files,
+            vectors_loaded: loaded,
+        })
+    }
+}
+
+fn read_catalog(dir: &Path) -> Result<Catalog> {
+    let text = fs::read_to_string(dir.join("catalog.json"))?;
+    Catalog::parse(&text)
+}
+
+/// The result of a lenient store load.
+pub struct SalvageStore {
+    pub doc: VecDoc,
+    pub catalog: Catalog,
+    pub skeleton_report: skformat::SalvageReport,
+    pub raw_skeleton: skformat::RawSkeleton,
+    /// Catalog entries whose `.vec` file is absent on disk.
+    pub missing_files: Vec<String>,
+    /// Files present but undecodable even leniently, with the error.
+    pub damaged_files: Vec<(String, String)>,
+    pub vectors_loaded: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconstruct::reconstruct;
+    use crate::vectorize::vectorize;
+    use vx_xml::parse;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vx-store-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_open_reconstruct() {
+        let src = "<lib><book><title>T1</title><author>A</author></book>\
+                   <book><title>T2</title><author>B</author></book></lib>";
+        let doc = parse(src).unwrap();
+        let v = vectorize(&doc).unwrap();
+        let dir = temp_dir("basic");
+        let saved = Store::save(&dir, &v, Compaction::None).unwrap();
+        assert_eq!(saved.vectors.len(), 2);
+        assert_eq!(saved.vectors[0].file, "v000000.vec");
+        assert_eq!(saved.node_count, doc.root.node_count());
+
+        let (loaded, catalog) = Store::open(&dir).unwrap();
+        assert_eq!(catalog.vectors, saved.vectors);
+        let back = reconstruct(&loaded).unwrap();
+        assert_eq!(back.root, doc.root);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compacted_store_round_trips() {
+        // A low-cardinality column triggers dictionary compaction.
+        let mut src = String::from("<t>");
+        for i in 0..400 {
+            src.push_str(&format!("<r><type>{}</type></r>", i % 5));
+        }
+        src.push_str("</t>");
+        let doc = parse(&src).unwrap();
+        let v = vectorize(&doc).unwrap();
+        let dir = temp_dir("compact");
+        let catalog = Store::save(&dir, &v, Compaction::Auto).unwrap();
+        // Dictionary form: data_bytes == count (one code byte per record).
+        assert_eq!(catalog.vectors[0].count, 400);
+        assert_eq!(catalog.vectors[0].data_bytes, 400);
+        let (loaded, _) = Store::open(&dir).unwrap();
+        assert_eq!(reconstruct(&loaded).unwrap().root, doc.root);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strict_open_rejects_count_mismatch() {
+        let doc = parse("<a><b>1</b><b>2</b></a>").unwrap();
+        let v = vectorize(&doc).unwrap();
+        let dir = temp_dir("mismatch");
+        Store::save(&dir, &v, Compaction::None).unwrap();
+        // Tamper with the catalog's count.
+        let catalog_path = dir.join("catalog.json");
+        let text = fs::read_to_string(&catalog_path)
+            .unwrap()
+            .replace("\"count\": 2", "\"count\": 3");
+        fs::write(&catalog_path, text).unwrap();
+        assert!(Store::open(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salvage_tolerates_missing_vector_file() {
+        let doc = parse("<a><b>1</b><c>2</c></a>").unwrap();
+        let v = vectorize(&doc).unwrap();
+        let dir = temp_dir("salvage");
+        Store::save(&dir, &v, Compaction::None).unwrap();
+        fs::remove_file(dir.join("v000001.vec")).unwrap();
+        let salvage = Store::open_salvage(&dir).unwrap();
+        assert_eq!(salvage.missing_files, vec!["v000001.vec".to_string()]);
+        assert_eq!(salvage.vectors_loaded, 1);
+        assert!(salvage.skeleton_report.is_clean());
+        let (back, report) = crate::reconstruct_salvage(&salvage.doc).unwrap();
+        assert_eq!(back.root.name, "a");
+        assert_eq!(report.missing_values, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,140 @@
+//! `VEC(T)`: one linear pass building skeleton + vectors (Prop 2.1).
+
+use crate::vecdoc::VecDoc;
+use crate::{CoreError, Result};
+use vx_skeleton::arena::{push_child, Edge, NodeId};
+use vx_xml::{Document, Element, Node};
+
+/// Vectorization options.
+#[derive(Debug, Clone, Default)]
+pub struct VectorizeOptions {
+    /// When false (default), comments and processing instructions inside
+    /// the tree are an error — vectorization cannot represent them, and
+    /// silently dropping them would break the lossless-round-trip law.
+    /// When true they are dropped.
+    pub drop_unrepresentable: bool,
+}
+
+/// Vectorizes with default (strict) options.
+pub fn vectorize(doc: &Document) -> Result<VecDoc> {
+    vectorize_with(doc, &VectorizeOptions::default())
+}
+
+/// Vectorizes a document into `(S, V)`.
+///
+/// * Every text (and CDATA) value is appended to the vector of its
+///   root-to-text tag path; the skeleton gets a `#` child in its place.
+/// * Attributes are encoded as leading `@name` child elements, so
+///   `<a x="1">` contributes path `a/@x`. Reconstruction inverts this.
+/// * The skeleton is hash-consed bottom-up with run-length edges.
+pub fn vectorize_with(doc: &Document, options: &VectorizeOptions) -> Result<VecDoc> {
+    let mut out = VecDoc::default();
+    let mut path = String::new();
+    let root = vectorize_element(&doc.root, &mut out, &mut path, options)?;
+    out.root = Some(root);
+    Ok(out)
+}
+
+fn vectorize_element(
+    element: &Element,
+    out: &mut VecDoc,
+    path: &mut String,
+    options: &VectorizeOptions,
+) -> Result<NodeId> {
+    // Interning at entry keeps the name table in document pre-order,
+    // matching the surviving stores (root tag first).
+    let name = out.skeleton.intern(&element.name);
+    let parent_len = path.len();
+    if !path.is_empty() {
+        path.push('/');
+    }
+    path.push_str(&element.name);
+
+    let mut edges: Vec<Edge> = Vec::new();
+    for (attr_name, attr_value) in &element.attributes {
+        let attr_tag = format!("@{attr_name}");
+        let attr_name_id = out.skeleton.intern(&attr_tag);
+        let attr_path = format!("{path}/{attr_tag}");
+        out.push_value(&attr_path, attr_value.clone().into_bytes());
+        let text = out.skeleton.text_node();
+        let attr_node = out.skeleton.cons(
+            attr_name_id,
+            vec![Edge {
+                child: text,
+                run: 1,
+            }],
+        );
+        push_child(&mut edges, attr_node);
+    }
+    for child in &element.children {
+        match child {
+            Node::Element(e) => {
+                let node = vectorize_element(e, out, path, options)?;
+                push_child(&mut edges, node);
+            }
+            Node::Text(t) | Node::CData(t) => {
+                out.push_value(path, t.clone().into_bytes());
+                push_child(&mut edges, out.skeleton.text_node());
+            }
+            Node::Comment(_) | Node::ProcessingInstruction { .. } => {
+                if !options.drop_unrepresentable {
+                    return Err(CoreError::Unsupported(format!(
+                        "comment/processing instruction under `{path}`; \
+                         vectorization drops these only with drop_unrepresentable"
+                    )));
+                }
+            }
+        }
+    }
+    path.truncate(parent_len);
+    Ok(out.skeleton.cons(name, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vx_xml::parse;
+
+    #[test]
+    fn paths_counts_and_sharing() {
+        let doc = parse(
+            "<lib><book><title>T1</title><author>A</author><author>B</author></book>\
+             <book><title>T2</title><author>C</author><author>D</author></book></lib>",
+        )
+        .unwrap();
+        let v = vectorize(&doc).unwrap();
+        let paths: Vec<_> = v.vectors().iter().map(|p| p.path.as_str()).collect();
+        assert_eq!(paths, vec!["lib/book/title", "lib/book/author"]);
+        assert_eq!(v.vector("lib/book/author").unwrap().values.len(), 4);
+        // Books differ (different titles feed the same '#', so the two
+        // book subtrees are structurally identical and must share).
+        assert_eq!(v.skeleton.duplicate_nodes(), 0);
+        // '#', title, author, book, lib — 5 DAG nodes despite 2 books.
+        assert_eq!(v.skeleton.len(), 5);
+    }
+
+    #[test]
+    fn attributes_become_at_paths() {
+        let doc = parse(r#"<r><item id="7">x</item></r>"#).unwrap();
+        let v = vectorize(&doc).unwrap();
+        assert_eq!(v.vector("r/item/@id").unwrap().values, vec![b"7".to_vec()]);
+        assert_eq!(v.vector("r/item").unwrap().values, vec![b"x".to_vec()]);
+    }
+
+    #[test]
+    fn comments_error_in_strict_mode() {
+        let doc = parse("<a><!-- c --></a>").unwrap();
+        assert!(matches!(vectorize(&doc), Err(CoreError::Unsupported(_))));
+        let opts = VectorizeOptions {
+            drop_unrepresentable: true,
+        };
+        assert!(vectorize_with(&doc, &opts).is_ok());
+    }
+
+    #[test]
+    fn node_count_matches_dom() {
+        let doc = parse("<a><b>t</b><b>t</b><c/></a>").unwrap();
+        let v = vectorize(&doc).unwrap();
+        assert_eq!(v.node_count(), doc.root.node_count());
+    }
+}

@@ -1,0 +1,206 @@
+//! `vx-data` — deterministic test-corpus generators (DESIGN.md row 8).
+//!
+//! The paper evaluates VX on MedLine (bibliographic, deep and regular)
+//! and SkyServer (astronomical, wide and flat). The original dumps are
+//! not redistributable, so tests and benchmarks use generators that mimic
+//! their shapes. Generation is fully deterministic: the same seed always
+//! yields the same document, so stores built from them are reproducible
+//! byte-for-byte.
+
+use vx_xml::{Document, Element};
+
+/// A deterministic xorshift64* PRNG. Not cryptographic; stable across
+/// platforms and rust versions, which is all test data needs.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zeros fixed point.
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A lowercase ASCII word of the given length.
+    pub fn word(&mut self, len: usize) -> String {
+        (0..len)
+            .map(|_| (b'a' + self.below(26) as u8) as char)
+            .collect()
+    }
+}
+
+const LANGUAGES: [&str; 4] = ["ENG", "FRE", "GER", "SPA"];
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// A MedLine-like document: `MedlineCitationSet` with `citations`
+/// citation records, matching the tag vocabulary of the checked-in
+/// `bench_results/stores/ml-*` stores.
+pub fn medline(seed: u64, citations: usize) -> Document {
+    let mut rng = Rng::new(seed);
+    let mut set = Element::new("MedlineCitationSet");
+    for i in 0..citations {
+        let mut citation = Element::new("MedlineCitation");
+        citation.children.push(
+            Element::new("PMID")
+                .with_text(format!("{}", 10_000_000 + i as u64))
+                .into_node(),
+        );
+        let mut article = Element::new("Article");
+        article.children.push(
+            Element::new("ArticleTitle")
+                .with_text(title(&mut rng))
+                .into_node(),
+        );
+        if rng.below(4) > 0 {
+            article.children.push(
+                Element::new("Abstract")
+                    .with_child(Element::new("AbstractText").with_text(sentence(&mut rng, 12)))
+                    .into_node(),
+            );
+        }
+        let mut authors = Element::new("AuthorList");
+        for _ in 0..rng.range(1, 4) {
+            authors.children.push(
+                Element::new("Author")
+                    .with_child(Element::new("LastName").with_text(capitalized(&mut rng)))
+                    .with_child(Element::new("Initials").with_text(rng.word(2).to_uppercase()))
+                    .into_node(),
+            );
+        }
+        article.children.push(authors.into_node());
+        citation.children.push(article.into_node());
+        citation.children.push(
+            Element::new("PubData")
+                .with_child(Element::new("Year").with_text(format!("{}", rng.range(1970, 2004))))
+                .with_child(
+                    Element::new("Month").with_text(MONTHS[rng.below(12) as usize].to_string()),
+                )
+                .into_node(),
+        );
+        citation.children.push(
+            Element::new("Language")
+                .with_text(LANGUAGES[rng.below(4) as usize].to_string())
+                .into_node(),
+        );
+        set.children.push(citation.into_node());
+    }
+    Document::from_root(set)
+}
+
+/// A SkyServer-like document: a flat `PhotoObjAll` table of `rows`
+/// fixed-schema rows — the shape where vectors compress best (few paths,
+/// very long vectors, heavy run-lengths in the skeleton).
+pub fn skyserver(seed: u64, rows: usize) -> Document {
+    let mut rng = Rng::new(seed);
+    let mut table = Element::new("PhotoObjAll");
+    for i in 0..rows {
+        let row = Element::new("PhotoObj")
+            .with_child(
+                Element::new("objID").with_text(format!("{}", 587_000_000_000u64 + i as u64)),
+            )
+            .with_child(Element::new("ra").with_text(fixed_point(&mut rng, 360)))
+            .with_child(Element::new("dec").with_text(fixed_point(&mut rng, 90)))
+            .with_child(Element::new("type").with_text(format!("{}", rng.below(7))))
+            .with_child(Element::new("u").with_text(fixed_point(&mut rng, 30)))
+            .with_child(Element::new("g").with_text(fixed_point(&mut rng, 30)))
+            .with_child(Element::new("r").with_text(fixed_point(&mut rng, 30)));
+        table.children.push(row.into_node());
+    }
+    Document::from_root(table)
+}
+
+fn title(rng: &mut Rng) -> String {
+    let words = rng.range(3, 8);
+    let mut out = capitalized(rng);
+    for _ in 1..words {
+        let len = rng.range(3, 9) as usize;
+        out.push(' ');
+        out.push_str(&rng.word(len));
+    }
+    out
+}
+
+fn sentence(rng: &mut Rng, words: u64) -> String {
+    let mut out = capitalized(rng);
+    for _ in 1..words {
+        let len = rng.range(2, 10) as usize;
+        out.push(' ');
+        out.push_str(&rng.word(len));
+    }
+    out.push('.');
+    out
+}
+
+fn capitalized(rng: &mut Rng) -> String {
+    let len = rng.range(4, 9) as usize;
+    let w = rng.word(len);
+    let mut chars = w.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().chain(chars).collect(),
+        None => w,
+    }
+}
+
+/// A non-negative decimal with 5 fractional digits, below `whole`.
+fn fixed_point(rng: &mut Rng, whole: u64) -> String {
+    format!("{}.{:05}", rng.below(whole), rng.below(100_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = medline(7, 5);
+        let b = medline(7, 5);
+        let opts = vx_xml::WriteOptions::compact();
+        assert_eq!(
+            vx_xml::write_document(&a, &opts),
+            vx_xml::write_document(&b, &opts)
+        );
+        assert_ne!(
+            vx_xml::write_document(&medline(8, 5), &opts),
+            vx_xml::write_document(&a, &opts)
+        );
+    }
+
+    #[test]
+    fn medline_has_expected_shape() {
+        let doc = medline(1, 10);
+        assert_eq!(doc.root.name, "MedlineCitationSet");
+        assert_eq!(doc.root.child_elements().count(), 10);
+        let citation = doc.root.child("MedlineCitation").unwrap();
+        assert!(citation.child("PMID").is_some());
+        assert!(citation.child("Language").is_some());
+    }
+
+    #[test]
+    fn skyserver_is_flat_and_regular() {
+        let doc = skyserver(2, 25);
+        assert_eq!(doc.root.child_elements().count(), 25);
+        for row in doc.root.child_elements() {
+            assert_eq!(row.child_elements().count(), 7);
+        }
+    }
+}

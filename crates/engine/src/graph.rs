@@ -1,0 +1,304 @@
+//! Query-graph compilation.
+//!
+//! A desugared XQ query is a set of variable bindings plus conjunctive
+//! conditions. The supported fragment is *tree selection with projection*:
+//! the return variable resolves (through its binding chain) to one
+//! absolute element path, and every condition filters occurrences of some
+//! ancestor on that chain. Compilation flattens this into a [`QueryGraph`]
+//! that names only tag paths — the form [`crate::reduce`] evaluates with
+//! prefix-sum vector arithmetic.
+
+use crate::{EngineError, Result};
+use std::collections::HashMap;
+use vx_xquery::{desugar, Condition, Operand, PathExpr, Query, Root};
+
+/// A compiled query: selection filters plus one projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryGraph {
+    /// Document name from `doc("…")` (informational; evaluation always
+    /// targets the document it is handed).
+    pub doc: String,
+    /// Absolute element tag path of the return variable, root tag first.
+    pub target: Vec<String>,
+    /// Relative tag path from the target to the projected text values.
+    pub ret_rel: Vec<String>,
+    /// Conjunctive filters.
+    pub filters: Vec<Filter>,
+}
+
+/// One filter, anchored at a prefix of the target path.
+///
+/// `anchor` is a prefix length of [`QueryGraph::target`]: a target
+/// occurrence survives the filter iff its ancestor at depth `anchor`
+/// satisfies the test existentially along `rel`. `anchor == 0` anchors at
+/// the document itself (a global condition: all-or-nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    pub anchor: usize,
+    pub rel: Vec<String>,
+    pub test: Test,
+}
+
+/// Filter test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Test {
+    /// Some occurrence of the relative path exists.
+    Exists,
+    /// Some text value at the relative path equals the literal.
+    Eq(String),
+}
+
+/// Compiles `query` (desugaring first) into a [`QueryGraph`].
+///
+/// Returns [`EngineError::Unsupported`] for wildcards, `//`, joins,
+/// whole-element returns, and bindings that are neither on the return
+/// variable's chain nor purely existential.
+pub fn compile(query: &Query) -> Result<QueryGraph> {
+    let query = desugar(query);
+
+    // Resolve every variable to (document, absolute tag path).
+    let mut resolved: HashMap<&str, (String, Vec<String>)> = HashMap::new();
+    for binding in &query.bindings {
+        let tags = simple_tags(&binding.path)?;
+        let (doc, mut abs) = match &binding.path.root {
+            Root::Doc(d) => (d.clone(), Vec::new()),
+            Root::Var(v) => resolved
+                .get(v.as_str())
+                .cloned()
+                .ok_or_else(|| EngineError::Unsupported(format!("unbound variable ${v}")))?,
+        };
+        abs.extend(tags);
+        resolved.insert(binding.var.as_str(), (doc, abs));
+    }
+
+    // The target is the return path's root variable.
+    let target_var = match &query.ret.root {
+        Root::Var(v) => v.as_str(),
+        Root::Doc(_) => {
+            return Err(EngineError::Unsupported(
+                "return path must start from a bound variable".into(),
+            ))
+        }
+    };
+    let ret_rel = simple_tags(&query.ret)?;
+    if ret_rel.is_empty() {
+        return Err(EngineError::Unsupported(
+            "return must project a path below the variable (whole-element \
+             return is not implemented yet)"
+                .into(),
+        ));
+    }
+    let (doc, target) = resolved
+        .get(target_var)
+        .cloned()
+        .ok_or_else(|| EngineError::Unsupported(format!("unbound variable ${target_var}")))?;
+
+    // The chain: variables whose binding path the target passes through.
+    // Their absolute paths are exactly the anchors filters may attach to.
+    let mut chain_depths: HashMap<&str, usize> = HashMap::new();
+    {
+        let mut var = target_var;
+        loop {
+            let (_, abs) = &resolved[var];
+            chain_depths.insert(var, abs.len());
+            match &query
+                .bindings
+                .iter()
+                .find(|b| b.var == var)
+                .expect("resolved implies bound")
+                .path
+                .root
+            {
+                Root::Var(v) => var = v.as_str(),
+                Root::Doc(_) => break,
+            }
+        }
+    }
+
+    let mut filters = Vec::new();
+
+    // Explicit conditions, anchored where their variable meets the chain.
+    for condition in &query.conditions {
+        let (path, test) = match condition {
+            Condition::Exists(p) => (p, Test::Exists),
+            Condition::Eq(p, Operand::Literal(l)) => (p, Test::Eq(l.clone())),
+            Condition::Eq(_, Operand::Path(_)) => {
+                return Err(EngineError::Unsupported(
+                    "joins (path = path) are not implemented yet".into(),
+                ))
+            }
+        };
+        let rel = simple_tags(path)?;
+        let (anchor, prefix) = anchor_of(&path.root, &query.bindings, &chain_depths)?;
+        filters.push(Filter {
+            anchor,
+            rel: prefix.into_iter().chain(rel).collect(),
+            test,
+        });
+    }
+
+    // Bindings off the chain contribute existential filters: XQ qualifiers
+    // are existential, and desugaring may have hoisted them into bindings.
+    for binding in &query.bindings {
+        if chain_depths.contains_key(binding.var.as_str()) {
+            continue;
+        }
+        let root = Root::Var(binding.var.clone());
+        let (anchor, prefix) = anchor_of(&root, &query.bindings, &chain_depths)?;
+        filters.push(Filter {
+            anchor,
+            rel: prefix,
+            test: Test::Exists,
+        });
+    }
+
+    Ok(QueryGraph {
+        doc,
+        target,
+        ret_rel,
+        filters,
+    })
+}
+
+/// Where a condition path attaches to the target chain: follows the path's
+/// root variable through binding roots until a chain variable (anchor =
+/// that variable's depth) or the document (anchor = 0); returns the tag
+/// prefix accumulated on the way, to be prepended to the condition's own
+/// steps.
+fn anchor_of(
+    root: &Root,
+    bindings: &[vx_xquery::Binding],
+    chain_depths: &HashMap<&str, usize>,
+) -> Result<(usize, Vec<String>)> {
+    match root {
+        Root::Doc(_) => Ok((0, Vec::new())),
+        Root::Var(v) => {
+            if let Some(&depth) = chain_depths.get(v.as_str()) {
+                return Ok((depth, Vec::new()));
+            }
+            let binding = bindings
+                .iter()
+                .find(|b| &b.var == v)
+                .ok_or_else(|| EngineError::Unsupported(format!("unbound variable ${v}")))?;
+            let (anchor, mut prefix) = anchor_of(&binding.path.root, bindings, chain_depths)?;
+            prefix.extend(simple_tags(&binding.path)?);
+            Ok((anchor, prefix))
+        }
+    }
+}
+
+/// The path's steps as plain child tags, or `Unsupported`.
+fn simple_tags(path: &PathExpr) -> Result<Vec<String>> {
+    path.simple_tags()
+        .map(|tags| tags.into_iter().map(str::to_string).collect())
+        .ok_or_else(|| {
+            EngineError::Unsupported(format!(
+                "only plain child steps are implemented yet (in `{path}`)"
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vx_xquery::parse_query;
+
+    #[test]
+    fn compiles_selection_projection() {
+        let q = parse_query(
+            r#"for $x in doc("ml")/Set/Citation
+               where $x/Language = "ENG" and exists($x/Article)
+               return $x/PMID"#,
+        )
+        .unwrap();
+        let g = compile(&q).unwrap();
+        assert_eq!(g.doc, "ml");
+        assert_eq!(g.target, vec!["Set", "Citation"]);
+        assert_eq!(g.ret_rel, vec!["PMID"]);
+        assert_eq!(
+            g.filters,
+            vec![
+                Filter {
+                    anchor: 2,
+                    rel: vec!["Language".into()],
+                    test: Test::Eq("ENG".into()),
+                },
+                Filter {
+                    anchor: 2,
+                    rel: vec!["Article".into()],
+                    test: Test::Exists,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn qualifier_anchors_on_ancestor() {
+        let q = parse_query(r#"for $x in doc("d")/a/b[c = "1"]/d return $x/e"#).unwrap();
+        let g = compile(&q).unwrap();
+        assert_eq!(g.target, vec!["a", "b", "d"]);
+        assert_eq!(
+            g.filters,
+            vec![Filter {
+                anchor: 2,
+                rel: vec!["c".into()],
+                test: Test::Eq("1".into()),
+            }]
+        );
+    }
+
+    #[test]
+    fn off_chain_binding_becomes_existential() {
+        let q = parse_query(
+            r#"for $x in doc("d")/a/b, $y in $x/f
+               where $y/g = "1"
+               return $x/e"#,
+        )
+        .unwrap();
+        let g = compile(&q).unwrap();
+        assert_eq!(g.target, vec!["a", "b"]);
+        assert_eq!(
+            g.filters,
+            vec![
+                Filter {
+                    anchor: 2,
+                    rel: vec!["f".into(), "g".into()],
+                    test: Test::Eq("1".into()),
+                },
+                Filter {
+                    anchor: 2,
+                    rel: vec!["f".into()],
+                    test: Test::Exists,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_shapes() {
+        for (src, needle) in [
+            (r#"for $x in doc("d")/a//b return $x/c"#, "child steps"),
+            (r#"for $x in doc("d")/a/* return $x/c"#, "child steps"),
+            (r#"for $x in doc("d")/a return $x"#, "whole-element"),
+            (
+                r#"for $x in doc("d")/a, $y in doc("d")/b where $x/c = $y/c return $x/e"#,
+                "joins",
+            ),
+            (
+                r#"for $x in doc("d")/a return doc("d")/b"#,
+                "bound variable",
+            ),
+        ] {
+            let q = parse_query(src).unwrap();
+            match compile(&q) {
+                Err(EngineError::Unsupported(m)) => {
+                    assert!(
+                        m.contains(needle),
+                        "{src}: message {m:?} missing {needle:?}"
+                    )
+                }
+                other => panic!("{src}: expected Unsupported, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! `vx-engine` — query evaluation over vectorized documents (DESIGN.md
+//! row 6).
+//!
+//! The paper evaluates XQ by compiling a query into a *query graph* and
+//! reducing it against `VEC(T)` with vector operations, never rebuilding
+//! the document. This crate implements the minimal slice of that plan:
+//!
+//! * [`compile`] turns a (desugared) [`vx_xquery::Query`] into a
+//!   [`QueryGraph`]: one target element path, a relative projection path,
+//!   and a set of existential/equality filters anchored on ancestors of
+//!   the target.
+//! * [`reduce`] evaluates the graph against a [`vx_core::VecDoc`] using
+//!   skeleton path counts only: occurrence ranges are prefix sums over
+//!   per-binding text counts (document order makes every binding's values
+//!   a contiguous vector slice), so selection and projection touch just
+//!   the vectors named by the query.
+//! * [`naive_eval`] is the differential oracle: reconstruct the document
+//!   and walk the DOM. `reduce` and `naive_eval` must agree on every
+//!   supported query; the engine tests enforce this.
+//!
+//! Anything outside the supported fragment — wildcards, `//`, joins,
+//! returning whole elements, cross-product bindings — fails with
+//! [`EngineError::Unsupported`] rather than silently approximating.
+//! Later PRs widen the fragment (see ROADMAP.md).
+
+mod graph;
+mod oracle;
+mod reduce;
+
+pub use graph::{compile, Filter, QueryGraph, Test};
+pub use oracle::naive_eval;
+pub use reduce::reduce;
+
+use std::fmt;
+use vx_core::{CoreError, VecDoc};
+use vx_xquery::XqError;
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Query parse failure.
+    Xq(XqError),
+    /// Failure from the core layer (reconstruction, store access).
+    Core(CoreError),
+    /// The query is valid XQ but outside the fragment this engine evaluates.
+    Unsupported(String),
+    /// The vectorized document is internally inconsistent.
+    Corrupt(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Xq(e) => write!(f, "{e}"),
+            EngineError::Core(e) => write!(f, "{e}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            EngineError::Corrupt(m) => write!(f, "corrupt vectorized document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Xq(e) => Some(e),
+            EngineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XqError> for EngineError {
+    fn from(e: XqError) -> Self {
+        EngineError::Xq(e)
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Convenience entry point: parse, desugar, compile, and reduce `query`
+/// against `doc`, returning result values as (lossy) strings.
+pub fn run(doc: &VecDoc, query: &str) -> Result<Vec<String>> {
+    let parsed = vx_xquery::parse_query(query)?;
+    let graph = compile(&parsed)?;
+    let values = reduce(doc, &graph)?;
+    Ok(values
+        .into_iter()
+        .map(|v| String::from_utf8_lossy(&v).into_owned())
+        .collect())
+}

@@ -1,0 +1,247 @@
+//! Naive decompress-evaluate oracle.
+//!
+//! Evaluates a [`QueryGraph`] by rebuilding the document with
+//! [`vx_core::reconstruct`] and walking the DOM — the slow baseline the
+//! paper's reduce must match. Shared semantics with [`crate::reduce`]:
+//! a target occurrence survives a filter iff its ancestor at the filter's
+//! anchor depth satisfies the test existentially; attribute steps are
+//! `@name` components; `Eq` compares individual text-node values.
+
+use crate::graph::{QueryGraph, Test};
+use crate::Result;
+use vx_core::VecDoc;
+use vx_xml::{Document, Element, Node};
+
+/// Evaluates `graph` the slow way: reconstruct then walk.
+pub fn naive_eval(doc: &VecDoc, graph: &QueryGraph) -> Result<Vec<Vec<u8>>> {
+    if doc.root.is_none() {
+        return Ok(Vec::new());
+    }
+    let document = vx_core::reconstruct(doc)?;
+    Ok(eval_dom(&document, graph))
+}
+
+fn eval_dom(document: &Document, graph: &QueryGraph) -> Vec<Vec<u8>> {
+    // Document-level filters first: all-or-nothing.
+    for filter in graph.filters.iter().filter(|f| f.anchor == 0) {
+        let holds = match &filter.test {
+            Test::Exists => !path_elements(&document.root, &filter.rel).is_empty(),
+            Test::Eq(lit) => texts_along(&document.root, &filter.rel)
+                .iter()
+                .any(|t| t == lit),
+        };
+        if !holds {
+            return Vec::new();
+        }
+    }
+
+    // Enumerate target occurrences with their ancestor chains.
+    let mut out = Vec::new();
+    let mut chain: Vec<&Element> = Vec::new();
+    walk_targets(&document.root, &graph.target, &mut chain, &mut |chain| {
+        let keep = graph.filters.iter().filter(|f| f.anchor > 0).all(|f| {
+            let anchor = chain[f.anchor - 1];
+            match &f.test {
+                Test::Exists => !path_elements_rel(anchor, &f.rel).is_empty(),
+                Test::Eq(lit) => texts_rel(anchor, &f.rel).iter().any(|t| t == lit),
+            }
+        });
+        if keep {
+            let target = chain.last().expect("chain holds the target");
+            out.extend(
+                texts_rel(target, &graph.ret_rel)
+                    .into_iter()
+                    .map(String::into_bytes),
+            );
+        }
+    });
+    out
+}
+
+/// Depth-first walk of all occurrences of the absolute path, calling `f`
+/// with the full ancestor chain (depth 1 ... target) for each occurrence.
+fn walk_targets<'a>(
+    root: &'a Element,
+    path: &[String],
+    chain: &mut Vec<&'a Element>,
+    f: &mut impl FnMut(&[&'a Element]),
+) {
+    let (first, rest) = match path.split_first() {
+        Some(p) => p,
+        None => return,
+    };
+    if &root.name != first {
+        return;
+    }
+    chain.push(root);
+    if rest.is_empty() {
+        f(chain);
+    } else {
+        go(root, rest, chain, f);
+    }
+    chain.pop();
+
+    fn go<'a>(
+        elem: &'a Element,
+        rest: &[String],
+        chain: &mut Vec<&'a Element>,
+        f: &mut impl FnMut(&[&'a Element]),
+    ) {
+        let (next, tail) = rest.split_first().expect("rest non-empty");
+        for child in elem.child_elements() {
+            if &child.name == next {
+                chain.push(child);
+                if tail.is_empty() {
+                    f(chain);
+                } else {
+                    go(child, tail, chain, f);
+                }
+                chain.pop();
+            }
+        }
+    }
+}
+
+/// Elements at the absolute path (root tag first).
+fn path_elements<'a>(root: &'a Element, path: &[String]) -> Vec<&'a Element> {
+    match path.split_first() {
+        None => Vec::new(),
+        Some((first, rest)) if &root.name == first => {
+            if rest.is_empty() {
+                vec![root]
+            } else {
+                path_elements_rel(root, rest)
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Elements at the relative path below `elem`. A trailing `@name`
+/// component matches iff the attribute exists, standing in for the
+/// synthetic attribute element of the vectorized encoding.
+fn path_elements_rel<'a>(elem: &'a Element, rel: &[String]) -> Vec<&'a Element> {
+    match rel.split_first() {
+        None => vec![elem],
+        Some((step, rest)) => {
+            if let Some(attr) = step.strip_prefix('@') {
+                // Attribute steps terminate; the element "exists" iff the
+                // attribute does.
+                if rest.is_empty() && elem.attr(attr).is_some() {
+                    return vec![elem];
+                }
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            for child in elem.child_elements() {
+                if child.name == *step {
+                    out.extend(path_elements_rel(child, rest));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Text values at the absolute path.
+fn texts_along(root: &Element, path: &[String]) -> Vec<String> {
+    match path.split_first() {
+        Some((first, rest)) if &root.name == first => texts_rel(root, rest),
+        _ => Vec::new(),
+    }
+}
+
+/// Individual text values at the relative path below `elem`, in document
+/// order: text/CDATA node values of the addressed elements, or the value
+/// of a trailing `@name` attribute.
+fn texts_rel(elem: &Element, rel: &[String]) -> Vec<String> {
+    match rel.split_first() {
+        None => elem
+            .children
+            .iter()
+            .filter_map(|n| match n {
+                Node::Text(t) | Node::CData(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect(),
+        Some((step, rest)) => {
+            if let Some(attr) = step.strip_prefix('@') {
+                if rest.is_empty() {
+                    return elem.attr(attr).map(str::to_string).into_iter().collect();
+                }
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            for child in elem.child_elements() {
+                if child.name == *step {
+                    out.extend(texts_rel(child, rest));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::compile;
+    use crate::reduce::reduce;
+    use vx_core::vectorize;
+    use vx_xquery::parse_query;
+
+    /// The differential contract: reduce over VEC(T) must agree with the
+    /// naive decompress-evaluate oracle on every supported query.
+    #[test]
+    fn reduce_matches_oracle() {
+        let xml = r#"<site>
+            <people>
+                <person id="p1"><name>ann</name><city>oslo</city><card/></person>
+                <person id="p2"><name>bob</name><city>lima</city></person>
+                <person id="p3"><name>cat</name><city>oslo</city><card/><card/></person>
+            </people>
+            <people>
+                <person id="p4"><name>dan</name><city>kiev</city></person>
+            </people>
+            <meta><version>2</version></meta>
+        </site>"#;
+        let document = vx_xml::parse(xml).unwrap();
+        let doc = vectorize(&document).unwrap();
+
+        let queries = [
+            r#"for $p in doc("s")/site/people/person return $p/name"#,
+            r#"for $p in doc("s")/site/people/person where $p/city = "oslo" return $p/name"#,
+            r#"for $p in doc("s")/site/people/person where exists($p/card) return $p/name"#,
+            r#"for $p in doc("s")/site/people/person[city = "kiev"] return $p/@id"#,
+            r#"for $p in doc("s")/site/people/person
+               where $p/city = "oslo" and exists($p/card)
+               return $p/@id"#,
+            r#"for $g in doc("s")/site/people, $p in $g/person
+               where $g/person/city = "kiev"
+               return $p/name"#,
+            r#"for $p in doc("s")/site/people/person
+               where doc("s")/site/meta/version = "2" and $p/city = "lima"
+               return $p/name"#,
+            r#"for $p in doc("s")/site/people/person where $p/city = "nowhere" return $p/name"#,
+            r#"for $p in doc("s")/site/absent/person return $p/name"#,
+        ];
+        for query in queries {
+            let graph = compile(&parse_query(query).unwrap()).unwrap();
+            let fast = reduce(&doc, &graph).unwrap();
+            let slow = naive_eval(&doc, &graph).unwrap();
+            assert_eq!(fast, slow, "reduce and oracle disagree on {query}");
+        }
+    }
+
+    #[test]
+    fn oracle_respects_filters() {
+        let xml = r#"<r><a><b>1</b><k>yes</k></a><a><b>2</b></a></r>"#;
+        let doc = vectorize(&vx_xml::parse(xml).unwrap()).unwrap();
+        let graph = compile(
+            &parse_query(r#"for $a in doc("d")/r/a where exists($a/k) return $a/b"#).unwrap(),
+        )
+        .unwrap();
+        let values = naive_eval(&doc, &graph).unwrap();
+        assert_eq!(values, vec![b"1".to_vec()]);
+    }
+}

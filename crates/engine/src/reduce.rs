@@ -1,0 +1,344 @@
+//! Graph reduction over `VEC(T)`.
+//!
+//! Evaluation never rebuilds the document. All structural questions are
+//! answered on the skeleton (occurrence counts, per-binding counts), and
+//! all value questions on the vectors the query names. Because vectors
+//! are in document order, the values belonging to one binding occurrence
+//! form a contiguous slice whose bounds are prefix sums of per-occurrence
+//! counts (the paper's Prop. 2.2 observation applied to querying).
+
+use crate::graph::{QueryGraph, Test};
+use crate::{EngineError, Result};
+use std::collections::HashMap;
+use vx_core::VecDoc;
+use vx_skeleton::{NameId, NodeId, PathIndex, Skeleton};
+
+/// Evaluates a compiled query against a vectorized document, returning
+/// the projected text values in document order.
+pub fn reduce(doc: &VecDoc, graph: &QueryGraph) -> Result<Vec<Vec<u8>>> {
+    let root = match doc.root {
+        Some(r) => r,
+        None => return Ok(Vec::new()),
+    };
+    let skeleton = &doc.skeleton;
+
+    // Tag names never seen by the document cannot occur on any path; with
+    // purely existential filters that means an empty result.
+    let all_names = graph
+        .target
+        .iter()
+        .chain(graph.ret_rel.iter())
+        .chain(graph.filters.iter().flat_map(|f| f.rel.iter()));
+    let mut ids: HashMap<&str, NameId> = HashMap::new();
+    for name in all_names {
+        match skeleton.name_id(name) {
+            Some(id) => {
+                ids.insert(name.as_str(), id);
+            }
+            None => return Ok(Vec::new()),
+        }
+    }
+    let to_ids =
+        |tags: &[String]| -> Vec<NameId> { tags.iter().map(|t| ids[t.as_str()]).collect() };
+
+    let index = PathIndex::new(skeleton, root);
+    let target = to_ids(&graph.target);
+    let occurrences = index.occurrences(&target);
+    if occurrences == 0 {
+        return Ok(Vec::new());
+    }
+    let n = usize::try_from(occurrences)
+        .map_err(|_| EngineError::Corrupt("occurrence count overflows usize".into()))?;
+    let mut selected = vec![true; n];
+
+    let mut memo = HashMap::new();
+    for filter in &graph.filters {
+        let rel = to_ids(&filter.rel);
+        if filter.anchor == 0 {
+            // Document-level condition: all-or-nothing.
+            let holds = match &filter.test {
+                Test::Exists => index.occurrences(&rel) > 0,
+                Test::Eq(lit) => doc
+                    .vector(&path_string(skeleton, &rel))
+                    .is_some_and(|v| v.values.iter().any(|val| val == lit.as_bytes())),
+            };
+            if !holds {
+                return Ok(Vec::new());
+            }
+            continue;
+        }
+
+        let anchor_path = &target[..filter.anchor];
+        let below = &target[filter.anchor..];
+        // Per-anchor-occurrence satisfaction of the test.
+        let sat: Vec<bool> = match &filter.test {
+            Test::Exists => binding_element_counts(skeleton, root, anchor_path, &rel, &mut memo)
+                .into_iter()
+                .map(|c| c > 0)
+                .collect(),
+            Test::Eq(lit) => {
+                let counts = index.binding_text_counts(anchor_path, &rel);
+                let total: u64 = counts.iter().sum();
+                let full: Vec<NameId> = anchor_path.iter().chain(rel.iter()).copied().collect();
+                let vector = doc.vector(&path_string(skeleton, &full));
+                match vector {
+                    None if total == 0 => counts.iter().map(|_| false).collect(),
+                    None => {
+                        return Err(EngineError::Corrupt(format!(
+                            "no vector for populated path {}",
+                            path_string(skeleton, &full)
+                        )))
+                    }
+                    Some(v) => {
+                        if v.values.len() as u64 != total {
+                            return Err(EngineError::Corrupt(format!(
+                                "vector {} has {} values, skeleton counts {}",
+                                v.path,
+                                v.values.len(),
+                                total
+                            )));
+                        }
+                        let mut start = 0usize;
+                        counts
+                            .iter()
+                            .map(|&c| {
+                                let end = start + c as usize;
+                                let hit =
+                                    v.values[start..end].iter().any(|val| val == lit.as_bytes());
+                                start = end;
+                                hit
+                            })
+                            .collect()
+                    }
+                }
+            }
+        };
+
+        // Expand anchor selection to target occurrences: each anchor
+        // occurrence owns a contiguous run of target occurrences.
+        let spans = binding_element_counts(skeleton, root, anchor_path, below, &mut memo);
+        if spans.len() != sat.len() {
+            return Err(EngineError::Corrupt(
+                "anchor occurrence counts disagree between tests".into(),
+            ));
+        }
+        let mut start = 0usize;
+        for (span, ok) in spans.iter().zip(&sat) {
+            let end = start + *span as usize;
+            if end > n {
+                return Err(EngineError::Corrupt(
+                    "target spans exceed target occurrence count".into(),
+                ));
+            }
+            if !ok {
+                selected[start..end].iter_mut().for_each(|s| *s = false);
+            }
+            start = end;
+        }
+        if start != n {
+            return Err(EngineError::Corrupt(
+                "target spans do not cover all target occurrences".into(),
+            ));
+        }
+    }
+
+    // Projection: slice the return vector by per-target prefix sums.
+    let ret_rel = to_ids(&graph.ret_rel);
+    let counts = index.binding_text_counts(&target, &ret_rel);
+    if counts.len() != n {
+        return Err(EngineError::Corrupt(
+            "return counts disagree with target occurrences".into(),
+        ));
+    }
+    let total: u64 = counts.iter().sum();
+    let full: Vec<NameId> = target.iter().chain(ret_rel.iter()).copied().collect();
+    let vector = match doc.vector(&path_string(skeleton, &full)) {
+        Some(v) => v,
+        None if total == 0 => return Ok(Vec::new()),
+        None => {
+            return Err(EngineError::Corrupt(format!(
+                "no vector for populated path {}",
+                path_string(skeleton, &full)
+            )))
+        }
+    };
+    if vector.values.len() as u64 != total {
+        return Err(EngineError::Corrupt(format!(
+            "vector {} has {} values, skeleton counts {}",
+            vector.path,
+            vector.values.len(),
+            total
+        )));
+    }
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (count, keep) in counts.iter().zip(&selected) {
+        let end = start + *count as usize;
+        if *keep {
+            out.extend(vector.values[start..end].iter().cloned());
+        }
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Joins a tag-id path into the catalog path string.
+fn path_string(skeleton: &Skeleton, path: &[NameId]) -> String {
+    path.iter()
+        .map(|&id| skeleton.name(id))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// For each occurrence of `binding` (document order, runs expanded), the
+/// number of `rel`-path *element* occurrences below it. `rel` empty means
+/// the occurrence itself (always 1) — unlike text counts, which only see
+/// `#` leaves. Memoized per `(node, rel-suffix)` so shared DAG nodes are
+/// counted once.
+fn binding_element_counts(
+    skeleton: &Skeleton,
+    root: NodeId,
+    binding: &[NameId],
+    rel: &[NameId],
+    memo: &mut HashMap<(NodeId, Vec<NameId>), u64>,
+) -> Vec<u64> {
+    fn count(
+        skeleton: &Skeleton,
+        node: NodeId,
+        rel: &[NameId],
+        memo: &mut HashMap<(NodeId, Vec<NameId>), u64>,
+    ) -> u64 {
+        match rel.split_first() {
+            None => 1,
+            Some((&next, tail)) => {
+                let key = (node, rel.to_vec());
+                if let Some(&v) = memo.get(&key) {
+                    return v;
+                }
+                let mut total = 0;
+                for edge in &skeleton.node(node).edges {
+                    if skeleton.node(edge.child).name == Some(next) {
+                        total += edge.run * count(skeleton, edge.child, tail, memo);
+                    }
+                }
+                memo.insert(key, total);
+                total
+            }
+        }
+    }
+
+    fn walk(
+        skeleton: &Skeleton,
+        node: NodeId,
+        rest: &[NameId],
+        rel: &[NameId],
+        repeat: u64,
+        memo: &mut HashMap<(NodeId, Vec<NameId>), u64>,
+        out: &mut Vec<u64>,
+    ) {
+        match rest.split_first() {
+            None => {
+                let c = count(skeleton, node, rel, memo);
+                for _ in 0..repeat {
+                    out.push(c);
+                }
+            }
+            Some((&next, tail)) => {
+                for edge in &skeleton.node(node).edges {
+                    if skeleton.node(edge.child).name == Some(next) {
+                        walk(skeleton, edge.child, tail, rel, edge.run, memo, out);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    if let Some((&first, rest)) = binding.split_first() {
+        if skeleton.node(root).name == Some(first) {
+            walk(skeleton, root, rest, rel, 1, memo, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::compile;
+    use vx_core::vectorize;
+    use vx_xquery::parse_query;
+
+    fn doc(xml: &str) -> VecDoc {
+        vectorize(&vx_xml::parse(xml).unwrap()).unwrap()
+    }
+
+    fn eval(xml: &str, query: &str) -> Vec<String> {
+        let d = doc(xml);
+        let graph = compile(&parse_query(query).unwrap()).unwrap();
+        reduce(&d, &graph)
+            .unwrap()
+            .into_iter()
+            .map(|v| String::from_utf8(v).unwrap())
+            .collect()
+    }
+
+    const LIB: &str = "<lib>\
+        <book><title>A</title><lang>en</lang><author>x</author></book>\
+        <book><title>B</title><lang>fr</lang><author>y</author><author>z</author></book>\
+        <book><title>C</title><lang>en</lang></book>\
+        </lib>";
+
+    #[test]
+    fn selection_with_equality() {
+        assert_eq!(
+            eval(
+                LIB,
+                r#"for $b in doc("lib")/lib/book where $b/lang = "en" return $b/title"#
+            ),
+            vec!["A", "C"]
+        );
+    }
+
+    #[test]
+    fn selection_with_exists() {
+        assert_eq!(
+            eval(
+                LIB,
+                r#"for $b in doc("lib")/lib/book where exists($b/author) return $b/title"#
+            ),
+            vec!["A", "B"]
+        );
+    }
+
+    #[test]
+    fn qualifier_and_multi_valued_projection() {
+        assert_eq!(
+            eval(
+                LIB,
+                r#"for $b in doc("lib")/lib/book[lang = "fr"] return $b/author"#
+            ),
+            vec!["y", "z"]
+        );
+    }
+
+    #[test]
+    fn unknown_tag_gives_empty_result() {
+        assert_eq!(
+            eval(LIB, r#"for $b in doc("lib")/lib/nothing return $b/title"#),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn attribute_projection() {
+        let xml = r#"<r><e id="1"><v>a</v></e><e id="2"><v>b</v></e></r>"#;
+        assert_eq!(
+            eval(
+                xml,
+                r#"for $e in doc("d")/r/e where $e/v = "b" return $e/@id"#
+            ),
+            vec!["2"]
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! `vx-skeleton` — the compressed skeleton layer (DESIGN.md row 3).
+//!
+//! The skeleton `S` of a document `T` is `T` with every text node replaced
+//! by a `#` marker. It is stored hash-consed: identical subtrees share one
+//! DAG node, and *consecutive* repeated edges are run-length encoded, so
+//! regular documents (the paper's running example is a 368-column astronomy
+//! table) compress to a skeleton that fits in main memory.
+//!
+//! This crate provides:
+//!
+//! * [`Skeleton`] — the hash-consing arena ([`arena`]),
+//! * the binary `.vxsk` format, both a strict reader/writer and a lenient
+//!   salvage reader for damaged files ([`format`]),
+//! * memoized path counts, per-binding occurrence layouts, and containment
+//!   maps used by the query engine ([`paths`]).
+
+pub mod arena;
+pub mod format;
+pub mod paths;
+
+pub use arena::{Edge, NameId, NodeId, Skeleton};
+pub use format::{read, read_lenient, write, RawSkeleton, SalvageReport};
+pub use paths::PathIndex;
+
+use std::fmt;
+
+/// Errors produced by the skeleton layer.
+#[derive(Debug)]
+pub enum SkeletonError {
+    Storage(vx_storage::StorageError),
+    /// The `.vxsk` header is missing or has the wrong magic/version.
+    BadHeader(String),
+    /// Structural corruption detected by the strict reader.
+    Corrupt {
+        offset: usize,
+        message: String,
+    },
+}
+
+impl fmt::Display for SkeletonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkeletonError::Storage(e) => write!(f, "skeleton storage error: {e}"),
+            SkeletonError::BadHeader(m) => write!(f, "bad .vxsk header: {m}"),
+            SkeletonError::Corrupt { offset, message } => {
+                write!(f, "corrupt .vxsk at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SkeletonError {}
+
+impl From<vx_storage::StorageError> for SkeletonError {
+    fn from(e: vx_storage::StorageError) -> Self {
+        SkeletonError::Storage(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SkeletonError>;

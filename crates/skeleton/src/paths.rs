@@ -1,0 +1,320 @@
+//! Memoized path analysis over the skeleton DAG.
+//!
+//! Vectors are keyed by *root-to-text tag paths*; evaluation needs to know,
+//! without decompressing the skeleton, (a) how many text occurrences each
+//! path has, (b) in what order paths first occur in the document, and
+//! (c) for a binding path `p` and a relative path `r`, the contiguous range
+//! of `p/r`-vector positions that belongs to each occurrence of `p`
+//! (positions are in document order, so occurrence ranges are prefix sums).
+//!
+//! Because hash-consing shares a node across *different* ancestor
+//! contexts, per-path quantities are memoized on the node alone by keeping
+//! paths relative: `texts_below(node)` maps each downward tag path from
+//! `node` to its text count, independent of ancestry.
+
+use crate::arena::{NameId, NodeId, Skeleton};
+use std::collections::{HashMap, HashSet};
+
+/// A downward tag path (possibly empty), e.g. `[Article, Abstract]`.
+pub type RelPath = Vec<NameId>;
+
+/// Path analysis over one skeleton rooted at `root`.
+pub struct PathIndex<'a> {
+    skeleton: &'a Skeleton,
+    root: NodeId,
+    /// node -> (relative path from node's *children* downward, text count).
+    /// The node's own name is *not* part of the key paths.
+    below: HashMap<NodeId, Vec<(RelPath, u64)>>,
+}
+
+impl<'a> PathIndex<'a> {
+    pub fn new(skeleton: &'a Skeleton, root: NodeId) -> Self {
+        let mut index = PathIndex {
+            skeleton,
+            root,
+            below: HashMap::new(),
+        };
+        index.compute_below(root);
+        index
+    }
+
+    pub fn skeleton(&self) -> &Skeleton {
+        self.skeleton
+    }
+
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Memoized: for each downward path from `node` (excluding `node`'s own
+    /// name) that ends in text, the number of text occurrences, runs
+    /// multiplied out. The empty path means `node` itself is `#`.
+    fn compute_below(&mut self, node: NodeId) -> &Vec<(RelPath, u64)> {
+        if !self.below.contains_key(&node) {
+            let data = self.skeleton.node(node);
+            let mut acc: Vec<(RelPath, u64)> = Vec::new();
+            let mut seen: HashMap<RelPath, usize> = HashMap::new();
+            if data.name.is_none() {
+                acc.push((Vec::new(), 1));
+            } else {
+                let edges = data.edges.clone();
+                for edge in edges {
+                    let child_name = self.skeleton.node(edge.child).name;
+                    let child_paths = self.compute_below(edge.child).clone();
+                    for (rel, count) in child_paths {
+                        let mut path = Vec::with_capacity(rel.len() + 1);
+                        if let Some(n) = child_name {
+                            path.push(n);
+                        }
+                        path.extend_from_slice(&rel);
+                        let add = count * edge.run;
+                        match seen.get(&path) {
+                            Some(&i) => acc[i].1 += add,
+                            None => {
+                                seen.insert(path.clone(), acc.len());
+                                acc.push((path, add));
+                            }
+                        }
+                    }
+                }
+            }
+            self.below.insert(node, acc);
+        }
+        &self.below[&node]
+    }
+
+    /// All root-to-text tag paths with their occurrence counts, ordered by
+    /// first occurrence in document order (the catalog order). Each path
+    /// includes the root's own tag.
+    pub fn text_paths(&self) -> Vec<(RelPath, u64)> {
+        let root_name = self.skeleton.node(self.root).name;
+        let mut counts: HashMap<RelPath, u64> = HashMap::new();
+        for (rel, count) in &self.below[&self.root] {
+            let mut path = Vec::with_capacity(rel.len() + 1);
+            if let Some(n) = root_name {
+                path.push(n);
+            }
+            path.extend_from_slice(rel);
+            *counts.entry(path).or_insert(0) += *count;
+        }
+        let order = self.first_occurrence_order();
+        let mut out = Vec::new();
+        for path in order {
+            if let Some(count) = counts.remove(&path) {
+                out.push((path, count));
+            }
+        }
+        debug_assert!(counts.is_empty());
+        out
+    }
+
+    /// Document-order first occurrence of each complete text path.
+    fn first_occurrence_order(&self) -> Vec<RelPath> {
+        // DFS over (node, prefix) pairs, memoized per pair, children in
+        // edge order. Runs never change first-occurrence order.
+        let mut order: Vec<RelPath> = Vec::new();
+        let mut seen_paths: HashSet<RelPath> = HashSet::new();
+        let mut visited: HashSet<(NodeId, RelPath)> = HashSet::new();
+        let mut stack: Vec<(NodeId, RelPath)> = vec![(self.root, Vec::new())];
+        // Explicit stack in reverse order to get document order.
+        while let Some((node, prefix)) = stack.pop() {
+            let data = self.skeleton.node(node);
+            let mut path = prefix.clone();
+            if let Some(n) = data.name {
+                path.push(n);
+            }
+            if data.name.is_none() {
+                if seen_paths.insert(prefix.clone()) {
+                    order.push(prefix);
+                }
+                continue;
+            }
+            for edge in data.edges.iter().rev() {
+                let key = (edge.child, path.clone());
+                if visited.insert(key) {
+                    stack.push((edge.child, path.clone()));
+                }
+            }
+        }
+        order
+    }
+
+    /// Total text occurrences below `node` (any path).
+    pub fn text_count(&self, node: NodeId) -> u64 {
+        self.below[&node].iter().map(|(_, c)| c).sum()
+    }
+
+    /// Text occurrences below `node` along exactly `rel` (a downward path
+    /// excluding `node`'s name).
+    pub fn text_count_along(&self, node: NodeId, rel: &[NameId]) -> u64 {
+        self.below[&node]
+            .iter()
+            .filter(|(p, _)| p == rel)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Number of occurrences of the element path `path` (starting with the
+    /// root's tag). The root path itself has one occurrence.
+    pub fn occurrences(&self, path: &[NameId]) -> u64 {
+        let root_name = self.skeleton.node(self.root).name;
+        match path.split_first() {
+            None => 0,
+            Some((&first, rest)) => {
+                if root_name != Some(first) {
+                    return 0;
+                }
+                self.count_occurrences(self.root, rest)
+            }
+        }
+    }
+
+    fn count_occurrences(&self, node: NodeId, rest: &[NameId]) -> u64 {
+        match rest.split_first() {
+            None => 1,
+            Some((&next, tail)) => {
+                let mut total = 0;
+                for edge in &self.skeleton.node(node).edges {
+                    if self.skeleton.node(edge.child).name == Some(next) {
+                        total += edge.run * self.count_occurrences(edge.child, tail);
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    /// For each occurrence of `binding_path` (in document order), the
+    /// number of `rel`-path texts below it. Prefix-summing the result gives
+    /// each occurrence's contiguous range in the `binding_path + rel`
+    /// vector. `binding_path` starts with the root tag.
+    pub fn binding_text_counts(&self, binding_path: &[NameId], rel: &[NameId]) -> Vec<u64> {
+        let mut out = Vec::new();
+        let root_name = self.skeleton.node(self.root).name;
+        if let Some((&first, rest)) = binding_path.split_first() {
+            if root_name == Some(first) {
+                self.collect_binding_counts(self.root, rest, rel, 1, &mut out);
+            }
+        }
+        out
+    }
+
+    fn collect_binding_counts(
+        &self,
+        node: NodeId,
+        rest: &[NameId],
+        rel: &[NameId],
+        repeat: u64,
+        out: &mut Vec<u64>,
+    ) {
+        match rest.split_first() {
+            None => {
+                let count = self.text_count_along(node, rel);
+                for _ in 0..repeat {
+                    out.push(count);
+                }
+            }
+            Some((&next, tail)) => {
+                for edge in &self.skeleton.node(node).edges {
+                    if self.skeleton.node(edge.child).name == Some(next) {
+                        self.collect_binding_counts(edge.child, tail, rel, edge.run, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Containment map: the set of tag names reachable strictly below
+    /// `node`. Used by the engine to prune impossible paths early.
+    pub fn containment(&self, node: NodeId) -> Vec<NameId> {
+        let mut memo: HashMap<NodeId, Vec<NameId>> = HashMap::new();
+        fn go(s: &Skeleton, node: NodeId, memo: &mut HashMap<NodeId, Vec<NameId>>) -> Vec<NameId> {
+            if let Some(v) = memo.get(&node) {
+                return v.clone();
+            }
+            let mut tags: Vec<NameId> = Vec::new();
+            for edge in &s.node(node).edges {
+                if let Some(n) = s.node(edge.child).name {
+                    tags.push(n);
+                }
+                tags.extend(go(s, edge.child, memo));
+            }
+            tags.sort();
+            tags.dedup();
+            memo.insert(node, tags.clone());
+            tags
+        }
+        go(self.skeleton, node, &mut memo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::{push_child, Edge};
+
+    /// Builds: root(lib) -> 2×book(title#, author#, author#), 1×note(#)
+    fn sample() -> (Skeleton, NodeId, Vec<NameId>) {
+        let mut s = Skeleton::new();
+        let t = s.text_node();
+        let lib = s.intern("lib");
+        let book = s.intern("book");
+        let title = s.intern("title");
+        let author = s.intern("author");
+        let note = s.intern("note");
+        let title_n = s.cons(title, vec![Edge { child: t, run: 1 }]);
+        let author_n = s.cons(author, vec![Edge { child: t, run: 1 }]);
+        let mut book_edges = Vec::new();
+        push_child(&mut book_edges, title_n);
+        push_child(&mut book_edges, author_n);
+        push_child(&mut book_edges, author_n);
+        let book_n = s.cons(book, book_edges);
+        let note_n = s.cons(note, vec![Edge { child: t, run: 1 }]);
+        let mut root_edges = Vec::new();
+        push_child(&mut root_edges, book_n);
+        push_child(&mut root_edges, book_n);
+        push_child(&mut root_edges, note_n);
+        let root = s.cons(lib, root_edges);
+        (s, root, vec![lib, book, title, author, note])
+    }
+
+    #[test]
+    fn text_paths_counts_and_order() {
+        let (s, root, names) = sample();
+        let index = PathIndex::new(&s, root);
+        let (lib, book, title, author, note) = (names[0], names[1], names[2], names[3], names[4]);
+        let paths = index.text_paths();
+        assert_eq!(
+            paths,
+            vec![
+                (vec![lib, book, title], 2),
+                (vec![lib, book, author], 4),
+                (vec![lib, note], 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn occurrences_and_binding_counts() {
+        let (s, root, names) = sample();
+        let index = PathIndex::new(&s, root);
+        let (lib, book, author) = (names[0], names[1], names[3]);
+        assert_eq!(index.occurrences(&[lib]), 1);
+        assert_eq!(index.occurrences(&[lib, book]), 2);
+        assert_eq!(
+            index.binding_text_counts(&[lib, book], &[author]),
+            vec![2, 2]
+        );
+        assert_eq!(index.binding_text_counts(&[lib], &[book, author]), vec![4]);
+    }
+
+    #[test]
+    fn containment_lists_reachable_tags() {
+        let (s, root, names) = sample();
+        let index = PathIndex::new(&s, root);
+        let tags = index.containment(root);
+        assert!(tags.contains(&names[1]));
+        assert!(tags.contains(&names[3]));
+        assert!(!tags.contains(&names[0])); // root tag not strictly below
+    }
+}

@@ -1,0 +1,269 @@
+//! Paged-file storage with a clock-eviction buffer pool.
+//!
+//! This is the stand-in for the Shore storage manager used by the original
+//! VX prototype: fixed 8 KiB pages over an ordinary file, a bounded buffer
+//! pool with second-chance (clock) eviction, pin counts, and hit/miss
+//! statistics. The vector and skeleton formats currently serialize through
+//! plain buffered I/O; the pager exists so later PRs can move hot scans and
+//! the bench harness onto a bounded-memory path without changing formats.
+
+use crate::{Result, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Page size, matching the 8 KiB pages of the paper's Shore configuration.
+pub const PAGE_SIZE: usize = 8192;
+
+/// One in-memory page frame.
+struct Frame {
+    page: u64,
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// Buffer-pool statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PagerStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub writebacks: u64,
+}
+
+/// A paged file with a bounded buffer pool.
+pub struct Pager {
+    file: File,
+    pages: u64,
+    frames: Vec<Frame>,
+    capacity: usize,
+    clock: usize,
+    stats: PagerStats,
+}
+
+impl Pager {
+    /// Opens (creating if necessary) a paged file with a pool of `capacity`
+    /// frames.
+    pub fn open(path: &Path, capacity: usize) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Pager {
+            file,
+            pages: len.div_ceil(PAGE_SIZE as u64),
+            frames: Vec::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            stats: PagerStats::default(),
+        })
+    }
+
+    /// Number of pages currently in the file.
+    pub fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    /// Buffer-pool statistics so far.
+    pub fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    /// Appends a zeroed page and returns its index.
+    pub fn allocate(&mut self) -> Result<u64> {
+        let page = self.pages;
+        self.pages += 1;
+        self.file.set_len(self.pages * PAGE_SIZE as u64)?;
+        Ok(page)
+    }
+
+    fn frame_of(&mut self, page: u64) -> Option<usize> {
+        self.frames.iter().position(|f| f.page == page)
+    }
+
+    fn load(&mut self, page: u64) -> Result<usize> {
+        if page >= self.pages {
+            return Err(StorageError::PageOutOfBounds {
+                page,
+                pages: self.pages,
+            });
+        }
+        if let Some(idx) = self.frame_of(page) {
+            self.stats.hits += 1;
+            self.frames[idx].referenced = true;
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
+        self.file.read_exact(&mut data[..])?;
+        let frame = Frame {
+            page,
+            data,
+            dirty: false,
+            pins: 0,
+            referenced: true,
+        };
+        if self.frames.len() < self.capacity {
+            self.frames.push(frame);
+            return Ok(self.frames.len() - 1);
+        }
+        let victim = self.pick_victim()?;
+        self.write_back(victim)?;
+        self.stats.evictions += 1;
+        self.frames[victim] = frame;
+        Ok(victim)
+    }
+
+    /// Second-chance clock sweep over unpinned frames.
+    fn pick_victim(&mut self) -> Result<usize> {
+        let n = self.frames.len();
+        for _ in 0..2 * n + 1 {
+            let idx = self.clock % n;
+            self.clock = (self.clock + 1) % n;
+            let frame = &mut self.frames[idx];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Ok(idx);
+        }
+        Err(StorageError::Io(std::io::Error::other(
+            "buffer pool exhausted: all frames pinned",
+        )))
+    }
+
+    fn write_back(&mut self, idx: usize) -> Result<()> {
+        if self.frames[idx].dirty {
+            let page = self.frames[idx].page;
+            self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
+            self.file.write_all(&self.frames[idx].data[..])?;
+            self.frames[idx].dirty = false;
+            self.stats.writebacks += 1;
+        }
+        Ok(())
+    }
+
+    /// Reads page `page` through the pool, passing its bytes to `f`.
+    pub fn with_page<R>(&mut self, page: u64, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        let idx = self.load(page)?;
+        Ok(f(&self.frames[idx].data))
+    }
+
+    /// Mutates page `page` through the pool, marking it dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        page: u64,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R> {
+        let idx = self.load(page)?;
+        self.frames[idx].dirty = true;
+        Ok(f(&mut self.frames[idx].data))
+    }
+
+    /// Pins a page in the pool (it will not be evicted until unpinned).
+    pub fn pin(&mut self, page: u64) -> Result<()> {
+        let idx = self.load(page)?;
+        self.frames[idx].pins += 1;
+        Ok(())
+    }
+
+    /// Unpins a previously pinned page.
+    pub fn unpin(&mut self, page: u64) {
+        if let Some(idx) = self.frame_of(page) {
+            let frame = &mut self.frames[idx];
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Flushes every dirty frame to disk.
+    pub fn flush(&mut self) -> Result<()> {
+        for idx in 0..self.frames.len() {
+            self.write_back(idx)?;
+        }
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+impl Drop for Pager {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vx-pager-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = temp_path("rt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut pager = Pager::open(&path, 4).unwrap();
+            for i in 0..10u64 {
+                let page = pager.allocate().unwrap();
+                assert_eq!(page, i);
+                pager.with_page_mut(page, |data| data[0] = i as u8).unwrap();
+            }
+            pager.flush().unwrap();
+        }
+        {
+            let mut pager = Pager::open(&path, 4).unwrap();
+            assert_eq!(pager.page_count(), 10);
+            for i in 0..10u64 {
+                let first = pager.with_page(i, |data| data[0]).unwrap();
+                assert_eq!(first, i as u8);
+            }
+            // 10 pages through a 4-frame pool must evict.
+            assert!(pager.stats().evictions > 0);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let path = temp_path("pin");
+        let _ = std::fs::remove_file(&path);
+        let mut pager = Pager::open(&path, 2).unwrap();
+        for _ in 0..5 {
+            pager.allocate().unwrap();
+        }
+        pager.with_page_mut(0, |d| d[7] = 42).unwrap();
+        pager.pin(0).unwrap();
+        for i in 1..5u64 {
+            pager.with_page(i, |_| ()).unwrap();
+        }
+        // Page 0 is still resident and intact despite the sweep.
+        assert_eq!(pager.with_page(0, |d| d[7]).unwrap(), 42);
+        pager.unpin(0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let path = temp_path("oob");
+        let _ = std::fs::remove_file(&path);
+        let mut pager = Pager::open(&path, 2).unwrap();
+        assert!(matches!(
+            pager.with_page(0, |_| ()),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,538 @@
+//! `.vec` reading and writing.
+
+use crate::{Result, VectorError};
+use std::fs;
+use std::path::Path;
+use vx_storage::varint;
+
+const MAGIC: &[u8; 4] = b"VXVC";
+const TRAILER_MAGIC: &[u8; 4] = b"VXVE";
+const V1_PLAIN: u8 = 1;
+const V2_DICT: u8 = 2;
+/// One skip entry per this many records (version 1).
+pub const SKIP_STRIDE: u64 = 256;
+/// Data section starts right after magic + version byte.
+const DATA_START: usize = 5;
+
+/// Builds a `.vec` file in memory.
+pub struct Writer {
+    records: Vec<Vec<u8>>,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Writer::new()
+    }
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer {
+            records: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, value: &[u8]) {
+        self.records.push(value.to_vec());
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Encodes as version 1 (plain).
+    pub fn encode_plain(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(V1_PLAIN);
+        let mut skips: Vec<u64> = Vec::new();
+        for (i, record) in self.records.iter().enumerate() {
+            if (i as u64).is_multiple_of(SKIP_STRIDE) {
+                skips.push((out.len() - DATA_START) as u64);
+            }
+            varint::write(&mut out, record.len() as u64);
+            out.extend_from_slice(record);
+        }
+        let data_end = out.len() as u64;
+        for offset in skips {
+            varint::write(&mut out, offset);
+        }
+        finish_trailer(&mut out, data_end, self.records.len() as u64);
+        out
+    }
+
+    /// Encodes as version 2 (dictionary-compacted). Fails when the data has
+    /// more than 128 distinct values; callers fall back to version 1.
+    pub fn encode_dictionary(&self) -> Result<Vec<u8>> {
+        let mut dict: Vec<&[u8]> = Vec::new();
+        let mut codes: Vec<u8> = Vec::with_capacity(self.records.len());
+        for record in &self.records {
+            let code = match dict.iter().position(|d| *d == record.as_slice()) {
+                Some(i) => i,
+                None => {
+                    if dict.len() >= 128 {
+                        return Err(VectorError::DictionaryTooLarge {
+                            distinct: dict.len() + 1,
+                        });
+                    }
+                    dict.push(record.as_slice());
+                    dict.len() - 1
+                }
+            };
+            codes.push(code as u8);
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(V2_DICT);
+        varint::write(&mut out, dict.len() as u64);
+        for entry in &dict {
+            varint::write(&mut out, entry.len() as u64);
+            out.extend_from_slice(entry);
+        }
+        out.extend_from_slice(&codes);
+        let data_end = out.len() as u64;
+        finish_trailer(&mut out, data_end, self.records.len() as u64);
+        Ok(out)
+    }
+
+    /// Picks version 2 when it is both possible and smaller, else version 1.
+    pub fn encode_auto(&self) -> Vec<u8> {
+        match self.encode_dictionary() {
+            Ok(dict) => {
+                let plain = self.encode_plain();
+                if dict.len() < plain.len() {
+                    dict
+                } else {
+                    plain
+                }
+            }
+            Err(_) => self.encode_plain(),
+        }
+    }
+}
+
+fn finish_trailer(out: &mut Vec<u8>, data_end: u64, count: u64) {
+    let skip_start = data_end;
+    out.extend_from_slice(&data_end.to_le_bytes());
+    out.extend_from_slice(&skip_start.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(TRAILER_MAGIC);
+}
+
+/// Size statistics for a loaded vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorStats {
+    pub count: u64,
+    /// Bytes of the record/code stream (the catalog's `data_bytes`).
+    pub data_bytes: u64,
+    /// Sum of raw value lengths.
+    pub value_bytes: u64,
+    pub version: u8,
+}
+
+enum Body {
+    Plain {
+        /// `(offset, len)` into `data` per record.
+        index: Vec<(u32, u32)>,
+        data: Vec<u8>,
+        skips: Vec<u64>,
+    },
+    Dict {
+        dict: Vec<Vec<u8>>,
+        codes: Vec<u8>,
+    },
+}
+
+/// A fully loaded, randomly accessible vector.
+pub struct Vector {
+    body: Body,
+    stats: VectorStats,
+}
+
+impl Vector {
+    /// Strict load: validates magic, version, trailer, skip index, and
+    /// record-stream integrity.
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::decode(&fs::read(path)?)
+    }
+
+    /// Strict decode from bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let version = check_header(bytes)?;
+        if bytes.len() < DATA_START + 28 {
+            return Err(VectorError::BadHeader("file too short for trailer".into()));
+        }
+        let tail = &bytes[bytes.len() - 28..];
+        if &tail[24..28] != TRAILER_MAGIC {
+            return Err(VectorError::BadHeader("missing VXVE trailer magic".into()));
+        }
+        let data_end = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes")) as usize;
+        let skip_start = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes")) as usize;
+        let count = u64::from_le_bytes(tail[16..24].try_into().expect("8 bytes"));
+        if data_end < DATA_START || data_end > bytes.len() - 28 || skip_start != data_end {
+            return Err(VectorError::Corrupt {
+                offset: bytes.len() - 28,
+                message: "inconsistent trailer offsets".into(),
+            });
+        }
+        match version {
+            V1_PLAIN => Self::decode_plain(bytes, data_end, count, true),
+            V2_DICT => Self::decode_dict(bytes, data_end, count, true),
+            _ => unreachable!("check_header validated version"),
+        }
+    }
+
+    /// Salvage load for files whose trailer was damaged by the seed
+    /// capture's sanitizer: trusts the caller's record count (from
+    /// `catalog.json`) and parses the record stream forward, ignoring the
+    /// trailer entirely.
+    pub fn open_salvage(path: &Path, expected_count: u64) -> Result<Self> {
+        let bytes = fs::read(path)?;
+        let version = check_header(&bytes)?;
+        match version {
+            V1_PLAIN => Self::decode_plain(&bytes, usize::MAX, expected_count, false),
+            V2_DICT => Self::decode_dict(&bytes, usize::MAX, expected_count, false),
+            _ => unreachable!("check_header validated version"),
+        }
+    }
+
+    fn decode_plain(bytes: &[u8], data_end: usize, count: u64, strict: bool) -> Result<Self> {
+        let mut index = Vec::with_capacity(count as usize);
+        let mut data = Vec::new();
+        let mut pos = DATA_START;
+        let mut record_starts: Vec<u64> = Vec::new();
+        for i in 0..count {
+            if i % SKIP_STRIDE == 0 {
+                record_starts.push((pos - DATA_START) as u64);
+            }
+            let (len, next) = varint::read(bytes, pos)?;
+            let end = next
+                .checked_add(len as usize)
+                .filter(|&e| e <= if strict { data_end } else { bytes.len() })
+                .ok_or(VectorError::Corrupt {
+                    offset: pos,
+                    message: format!("record {i} runs past data section"),
+                })?;
+            index.push((data.len() as u32, len as u32));
+            data.extend_from_slice(&bytes[next..end]);
+            pos = end;
+        }
+        let data_bytes = (pos - DATA_START) as u64;
+        if strict {
+            if pos != data_end {
+                return Err(VectorError::Corrupt {
+                    offset: pos,
+                    message: "record stream does not end at data_end".into(),
+                });
+            }
+            // Validate the skip index against the actual record offsets.
+            let mut sp = data_end;
+            for (k, &expected) in record_starts.iter().enumerate() {
+                let (entry, next) = varint::read(bytes, sp)?;
+                if entry != expected {
+                    return Err(VectorError::Corrupt {
+                        offset: sp,
+                        message: format!("skip entry {k}: {entry} != {expected}"),
+                    });
+                }
+                sp = next;
+            }
+            if sp != bytes.len() - 28 {
+                return Err(VectorError::Corrupt {
+                    offset: sp,
+                    message: "skip index does not end at trailer".into(),
+                });
+            }
+        }
+        let value_bytes = data.len() as u64;
+        Ok(Vector {
+            body: Body::Plain {
+                index,
+                data,
+                skips: record_starts,
+            },
+            stats: VectorStats {
+                count,
+                data_bytes,
+                value_bytes,
+                version: V1_PLAIN,
+            },
+        })
+    }
+
+    fn decode_dict(bytes: &[u8], data_end: usize, count: u64, strict: bool) -> Result<Self> {
+        let (dict_len, mut pos) = varint::read(bytes, DATA_START)?;
+        let mut dict = Vec::with_capacity(dict_len as usize);
+        for i in 0..dict_len {
+            let (len, next) = varint::read(bytes, pos)?;
+            let end = next
+                .checked_add(len as usize)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(VectorError::Corrupt {
+                    offset: pos,
+                    message: format!("dictionary entry {i} runs past end"),
+                })?;
+            dict.push(bytes[next..end].to_vec());
+            pos = end;
+        }
+        let codes_end = pos + count as usize;
+        if codes_end > bytes.len() {
+            return Err(VectorError::Corrupt {
+                offset: pos,
+                message: "code stream truncated".into(),
+            });
+        }
+        let codes = bytes[pos..codes_end].to_vec();
+        if strict && codes_end != data_end {
+            return Err(VectorError::Corrupt {
+                offset: codes_end,
+                message: "code stream does not end at data_end".into(),
+            });
+        }
+        let mut value_bytes = 0u64;
+        for (i, &code) in codes.iter().enumerate() {
+            let entry = dict.get(code as usize).ok_or(VectorError::Corrupt {
+                offset: pos + i,
+                message: format!("code {code} out of dictionary range"),
+            })?;
+            value_bytes += entry.len() as u64;
+        }
+        Ok(Vector {
+            body: Body::Dict { dict, codes },
+            stats: VectorStats {
+                count,
+                data_bytes: count,
+                value_bytes,
+                version: V2_DICT,
+            },
+        })
+    }
+
+    pub fn stats(&self) -> VectorStats {
+        self.stats
+    }
+
+    pub fn len(&self) -> u64 {
+        self.stats.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stats.count == 0
+    }
+
+    /// Random access by occurrence position.
+    pub fn get(&self, i: u64) -> Result<&[u8]> {
+        if i >= self.stats.count {
+            return Err(VectorError::OutOfBounds {
+                index: i,
+                count: self.stats.count,
+            });
+        }
+        Ok(match &self.body {
+            Body::Plain { index, data, .. } => {
+                let (off, len) = index[i as usize];
+                &data[off as usize..off as usize + len as usize]
+            }
+            Body::Dict { dict, codes } => &dict[codes[i as usize] as usize],
+        })
+    }
+
+    /// Skip-index entries (version 1 only): data-relative byte offsets of
+    /// records `0, 256, 512, …` as written on disk.
+    pub fn skip_entries(&self) -> &[u64] {
+        match &self.body {
+            Body::Plain { skips, .. } => skips,
+            Body::Dict { .. } => &[],
+        }
+    }
+
+    /// Sequential scan cursor starting at record `start`.
+    pub fn cursor(&self, start: u64) -> Cursor<'_> {
+        Cursor {
+            vector: self,
+            next: start,
+        }
+    }
+
+    /// Iterates all values.
+    pub fn iter(&self) -> Cursor<'_> {
+        self.cursor(0)
+    }
+}
+
+/// Sequential scan over a vector.
+pub struct Cursor<'a> {
+    vector: &'a Vector,
+    next: u64,
+}
+
+impl Cursor<'_> {
+    /// Repositions the cursor.
+    pub fn seek(&mut self, index: u64) {
+        self.next = index;
+    }
+
+    /// Current position (index of the value `next()` would return).
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+}
+
+impl<'a> Iterator for Cursor<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let v = self.vector.get(self.next).ok()?;
+        self.next += 1;
+        Some(v)
+    }
+}
+
+fn check_header(bytes: &[u8]) -> Result<u8> {
+    if bytes.len() < DATA_START || &bytes[0..4] != MAGIC {
+        return Err(VectorError::BadHeader("missing VXVC magic".into()));
+    }
+    match bytes[4] {
+        v @ (V1_PLAIN | V2_DICT) => Ok(v),
+        v => Err(VectorError::BadHeader(format!("unsupported version {v}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_values(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("value-{i:05}-{}", "x".repeat(i % 40)).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn plain_round_trip_with_skip_index() {
+        let values = sample_values(1000);
+        let mut w = Writer::new();
+        for v in &values {
+            w.push(v);
+        }
+        let bytes = w.encode_plain();
+        let vec = Vector::decode(&bytes).unwrap();
+        assert_eq!(vec.len(), 1000);
+        assert_eq!(vec.skip_entries().len(), 4); // records 0, 256, 512, 768
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(vec.get(i as u64).unwrap(), v.as_slice());
+        }
+        assert_eq!(
+            vec.stats().value_bytes,
+            values.iter().map(|v| v.len() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn empty_vector_round_trips() {
+        let bytes = Writer::new().encode_plain();
+        let vec = Vector::decode(&bytes).unwrap();
+        assert!(vec.is_empty());
+        assert!(vec.get(0).is_err());
+    }
+
+    #[test]
+    fn large_records_round_trip() {
+        let mut w = Writer::new();
+        let big = vec![b'z'; 100_000];
+        w.push(&big);
+        w.push(b"");
+        w.push(&big);
+        let bytes = w.encode_plain();
+        let vec = Vector::decode(&bytes).unwrap();
+        assert_eq!(vec.get(0).unwrap().len(), 100_000);
+        assert_eq!(vec.get(1).unwrap(), b"");
+        assert_eq!(vec.get(2).unwrap(), &big[..]);
+    }
+
+    #[test]
+    fn dictionary_round_trip() {
+        let mut w = Writer::new();
+        for i in 0..500usize {
+            w.push(format!("{}", i % 7).as_bytes());
+        }
+        let bytes = w.encode_dictionary().unwrap();
+        let vec = Vector::decode(&bytes).unwrap();
+        assert_eq!(vec.stats().version, 2);
+        assert_eq!(vec.stats().data_bytes, 500);
+        for i in 0..500u64 {
+            assert_eq!(vec.get(i).unwrap(), format!("{}", i % 7).as_bytes());
+        }
+    }
+
+    #[test]
+    fn dictionary_rejects_high_cardinality() {
+        let mut w = Writer::new();
+        for i in 0..200usize {
+            w.push(format!("{i}").as_bytes());
+        }
+        assert!(matches!(
+            w.encode_dictionary(),
+            Err(VectorError::DictionaryTooLarge { .. })
+        ));
+        // encode_auto falls back to plain.
+        let vec = Vector::decode(&w.encode_auto()).unwrap();
+        assert_eq!(vec.stats().version, 1);
+    }
+
+    #[test]
+    fn cursor_scans_and_seeks() {
+        let values = sample_values(300);
+        let mut w = Writer::new();
+        for v in &values {
+            w.push(v);
+        }
+        let vec = Vector::decode(&w.encode_plain()).unwrap();
+        let collected: Vec<_> = vec.iter().map(|v| v.to_vec()).collect();
+        assert_eq!(collected, values);
+        let mut c = vec.cursor(0);
+        c.seek(299);
+        assert_eq!(c.next().unwrap(), values[299].as_slice());
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    fn strict_reader_rejects_corruption() {
+        let mut w = Writer::new();
+        for v in sample_values(10) {
+            w.push(&v);
+        }
+        let good = w.encode_plain();
+        // Flip the record count in the trailer.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 12] ^= 0x01;
+        assert!(Vector::decode(&bad).is_err());
+        // Truncate mid-data.
+        assert!(Vector::decode(&good[..good.len() - 40]).is_err());
+    }
+
+    #[test]
+    fn salvage_reads_without_trailer() {
+        let values = sample_values(50);
+        let mut w = Writer::new();
+        for v in &values {
+            w.push(v);
+        }
+        let mut bytes = w.encode_plain();
+        // Destroy the entire trailer region.
+        let n = bytes.len();
+        bytes.truncate(n - 20);
+        let path = std::env::temp_dir().join(format!("vx-vec-salvage-{}.vec", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let vec = Vector::open_salvage(&path, 50).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(vec.get(i as u64).unwrap(), v.as_slice());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,45 @@
+//! `vx-xml` — XML 1.0 parsing, DOM, and serialization.
+//!
+//! This crate is the document layer of xmlvec (DESIGN.md row 1): a
+//! from-scratch recursive-descent XML parser producing a simple owned DOM,
+//! plus a writer that serializes the DOM back to text. It supports
+//! elements, attributes, character data, CDATA sections, comments,
+//! processing instructions, the five predefined entities, numeric
+//! character references, and skips an internal DTD subset.
+//!
+//! It deliberately does **not** implement namespaces-as-scoping, external
+//! entities, or validation: the vectorizer operates on tag names as opaque
+//! strings, exactly as the paper's skeleton does.
+
+mod dom;
+mod parser;
+mod writer;
+
+pub use dom::{Document, Element, Node, XmlDecl};
+pub use parser::parse;
+pub use writer::{write_document, write_element, WriteOptions};
+
+use std::fmt;
+
+/// A parse error with 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub line: u32,
+    pub column: u32,
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, XmlError>;

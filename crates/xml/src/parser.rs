@@ -1,0 +1,504 @@
+//! Recursive-descent XML 1.0 parser.
+
+use crate::dom::{Document, Element, Node, XmlDecl};
+use crate::{Result, XmlError};
+
+/// Parses a complete XML document.
+pub fn parse(input: &str) -> Result<Document> {
+    let mut p = Parser::new(input);
+    p.document()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            input,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            line: self.line,
+            column: self.column,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else if b & 0xc0 != 0x80 {
+            // Count UTF-8 scalar starts, not continuation bytes.
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.starts_with(s) {
+            self.advance(s.len());
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    // ---- grammar ---------------------------------------------------------
+
+    fn document(&mut self) -> Result<Document> {
+        let decl = self.xml_decl()?;
+        let mut prolog = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                prolog.push(self.comment()?);
+            } else if self.starts_with("<!DOCTYPE") {
+                self.doctype()?;
+            } else if self.starts_with("<?") {
+                prolog.push(self.processing_instruction()?);
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected root element"));
+        }
+        let root = self.element()?;
+        let mut epilog = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                epilog.push(self.comment()?);
+            } else if self.starts_with("<?") {
+                epilog.push(self.processing_instruction()?);
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if !self.at_end() {
+            return Err(self.err("content after root element"));
+        }
+        Ok(Document {
+            decl,
+            prolog,
+            root,
+            epilog,
+        })
+    }
+
+    fn xml_decl(&mut self) -> Result<Option<XmlDecl>> {
+        if !self.starts_with("<?xml") {
+            return Ok(None);
+        }
+        // `<?xml-stylesheet` etc. are PIs, not the declaration.
+        let after = self.bytes.get(self.pos + 5).copied();
+        if !matches!(after, Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            return Ok(None);
+        }
+        self.advance(5);
+        let mut decl = XmlDecl {
+            version: "1.0".to_string(),
+            encoding: None,
+            standalone: None,
+        };
+        loop {
+            self.skip_ws();
+            if self.starts_with("?>") {
+                self.advance(2);
+                return Ok(Some(decl));
+            }
+            let (name, value) = self.attribute()?;
+            match name.as_str() {
+                "version" => decl.version = value,
+                "encoding" => decl.encoding = Some(value),
+                "standalone" => decl.standalone = Some(value == "yes"),
+                other => {
+                    return Err(self.err(format!("unknown XML declaration attribute `{other}`")))
+                }
+            }
+        }
+    }
+
+    /// Skips a DOCTYPE declaration, including a bracketed internal subset.
+    fn doctype(&mut self) -> Result<()> {
+        self.expect("<!DOCTYPE")?;
+        let mut depth = 0i32;
+        loop {
+            match self.bump() {
+                Some(b'[') => depth += 1,
+                Some(b']') => depth -= 1,
+                Some(b'>') if depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err("unterminated DOCTYPE")),
+            }
+        }
+    }
+
+    fn comment(&mut self) -> Result<Node> {
+        self.expect("<!--")?;
+        let start = self.pos;
+        loop {
+            if self.starts_with("-->") {
+                let text = self.input[start..self.pos].to_string();
+                if text.contains("--") {
+                    return Err(self.err("`--` inside comment"));
+                }
+                self.advance(3);
+                return Ok(Node::Comment(text));
+            }
+            if self.bump().is_none() {
+                return Err(self.err("unterminated comment"));
+            }
+        }
+    }
+
+    fn processing_instruction(&mut self) -> Result<Node> {
+        self.expect("<?")?;
+        let target = self.name()?;
+        if target.eq_ignore_ascii_case("xml") {
+            return Err(self.err("XML declaration not allowed here"));
+        }
+        self.skip_ws();
+        let start = self.pos;
+        loop {
+            if self.starts_with("?>") {
+                let data = self.input[start..self.pos].to_string();
+                self.advance(2);
+                return Ok(Node::ProcessingInstruction { target, data });
+            }
+            if self.bump().is_none() {
+                return Err(self.err("unterminated processing instruction"));
+            }
+        }
+    }
+
+    fn cdata(&mut self) -> Result<Node> {
+        self.expect("<![CDATA[")?;
+        let start = self.pos;
+        loop {
+            if self.starts_with("]]>") {
+                let data = self.input[start..self.pos].to_string();
+                self.advance(3);
+                return Ok(Node::CData(data));
+            }
+            if self.bump().is_none() {
+                return Err(self.err("unterminated CDATA section"));
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if is_name_start(b) => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected name")),
+        }
+        while let Some(b) = self.peek() {
+            if is_name_char(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn attribute(&mut self) -> Result<(String, String)> {
+        let name = self.name()?;
+        self.skip_ws();
+        self.expect("=")?;
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.bump();
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(q) if q == quote => {
+                    self.bump();
+                    return Ok((name, value));
+                }
+                Some(b'<') => return Err(self.err("`<` in attribute value")),
+                Some(b'&') => value.push_str(&self.reference()?),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote || b == b'&' || b == b'<' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    value.push_str(&self.input[start..self.pos]);
+                }
+                None => return Err(self.err("unterminated attribute value")),
+            }
+        }
+    }
+
+    /// Parses `&...;` and returns the expanded text.
+    fn reference(&mut self) -> Result<String> {
+        self.expect("&")?;
+        if self.peek() == Some(b'#') {
+            self.bump();
+            let (radix, digits_start) = if self.peek() == Some(b'x') {
+                self.bump();
+                (16, self.pos)
+            } else {
+                (10, self.pos)
+            };
+            while matches!(self.peek(), Some(b) if (b as char).is_digit(radix)) {
+                self.bump();
+            }
+            let digits = &self.input[digits_start..self.pos];
+            self.expect(";")?;
+            let code = u32::from_str_radix(digits, radix)
+                .map_err(|_| self.err("bad character reference"))?;
+            let ch = char::from_u32(code).ok_or_else(|| self.err("invalid code point"))?;
+            return Ok(ch.to_string());
+        }
+        let name = self.name()?;
+        self.expect(";")?;
+        let expansion = match name.as_str() {
+            "lt" => "<",
+            "gt" => ">",
+            "amp" => "&",
+            "apos" => "'",
+            "quot" => "\"",
+            other => return Err(self.err(format!("unknown entity `&{other};`"))),
+        };
+        Ok(expansion.to_string())
+    }
+
+    fn element(&mut self) -> Result<Element> {
+        self.expect("<")?;
+        let name = self.name()?;
+        let mut element = Element::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let (attr_name, value) = self.attribute()?;
+                    if element.attributes.iter().any(|(n, _)| *n == attr_name) {
+                        return Err(self.err(format!("duplicate attribute `{attr_name}`")));
+                    }
+                    element.attributes.push((attr_name, value));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        self.content(&mut element)?;
+        self.expect("</")?;
+        let close = self.name()?;
+        if close != element.name {
+            return Err(self.err(format!(
+                "mismatched end tag: expected `</{}>`, found `</{close}>`",
+                element.name
+            )));
+        }
+        self.skip_ws();
+        self.expect(">")?;
+        Ok(element)
+    }
+
+    fn content(&mut self, element: &mut Element) -> Result<()> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        if !text.is_empty() {
+                            element.children.push(Node::Text(std::mem::take(&mut text)));
+                        }
+                        return Ok(());
+                    }
+                    if !text.is_empty() {
+                        element.children.push(Node::Text(std::mem::take(&mut text)));
+                    }
+                    if self.starts_with("<!--") {
+                        element.children.push(self.comment()?);
+                    } else if self.starts_with("<![CDATA[") {
+                        element.children.push(self.cdata()?);
+                    } else if self.starts_with("<?") {
+                        element.children.push(self.processing_instruction()?);
+                    } else {
+                        element.children.push(Node::Element(self.element()?));
+                    }
+                }
+                Some(b'&') => text.push_str(&self.reference()?),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' || b == b'&' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    text.push_str(&self.input[start..self.pos]);
+                }
+                None => return Err(self.err("unexpected end of input inside element")),
+            }
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{write_document, WriteOptions};
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        assert_eq!(doc.root.name, "a");
+        assert!(doc.root.children.is_empty());
+    }
+
+    #[test]
+    fn nested_with_text_and_attributes() {
+        let doc = parse(r#"<a x="1" y="two"><b>hi</b><b>bye</b></a>"#).unwrap();
+        assert_eq!(doc.root.attr("x"), Some("1"));
+        assert_eq!(doc.root.attr("y"), Some("two"));
+        let bs: Vec<_> = doc.root.child_elements().collect();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].text(), "hi");
+        assert_eq!(bs[1].text(), "bye");
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let doc = parse("<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>").unwrap();
+        assert_eq!(doc.root.text(), "<>&'\"AB");
+    }
+
+    #[test]
+    fn cdata_comments_pis() {
+        let doc = parse("<a><!-- note --><![CDATA[1 < 2]]><?pi data?></a>").unwrap();
+        assert_eq!(doc.root.children.len(), 3);
+        assert!(matches!(&doc.root.children[0], Node::Comment(c) if c == " note "));
+        assert!(matches!(&doc.root.children[1], Node::CData(c) if c == "1 < 2"));
+        assert!(matches!(
+            &doc.root.children[2],
+            Node::ProcessingInstruction { target, data } if target == "pi" && data == "data"
+        ));
+    }
+
+    #[test]
+    fn declaration_doctype_prolog() {
+        let doc = parse(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n<!-- pre -->\n<a/>",
+        )
+        .unwrap();
+        let decl = doc.decl.unwrap();
+        assert_eq!(decl.version, "1.0");
+        assert_eq!(decl.encoding.as_deref(), Some("UTF-8"));
+        assert_eq!(doc.prolog.len(), 1);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let doc = parse("<p>one <b>two</b> three</p>").unwrap();
+        assert_eq!(doc.root.children.len(), 3);
+        assert!(matches!(&doc.root.children[0], Node::Text(t) if t == "one "));
+        assert!(matches!(&doc.root.children[2], Node::Text(t) if t == " three"));
+    }
+
+    #[test]
+    fn utf8_names_and_text() {
+        let doc = parse("<données>héllo ✓</données>").unwrap();
+        assert_eq!(doc.root.name, "données");
+        assert_eq!(doc.root.text(), "héllo ✓");
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse("<a>\n  <b></c>\n</a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("mismatched end tag"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a x='1' x='2'/>",
+            "<a>&unknown;</a>",
+            "<a/><b/>",
+            "<a attr=novalue/>",
+        ] {
+            assert!(parse(bad).is_err(), "expected parse failure for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_write_parse_fixpoint() {
+        let src = r#"<a x="&lt;q&gt;"><b>text &amp; more</b><c/><!-- c --><d>tail</d></a>"#;
+        let doc = parse(src).unwrap();
+        let written = write_document(&doc, &WriteOptions::compact());
+        let reparsed = parse(&written).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+}

@@ -1,0 +1,197 @@
+//! DOM serialization.
+
+use crate::dom::{Document, Element, Node};
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Indent width per nesting level; `None` emits no insignificant
+    /// whitespace (required for lossless round-trips through the
+    /// vectorizer).
+    pub indent: Option<usize>,
+    /// Emit an `<?xml version="1.0"?>` declaration even if the document
+    /// has none.
+    pub force_declaration: bool,
+}
+
+impl WriteOptions {
+    /// No added whitespace.
+    pub fn compact() -> Self {
+        WriteOptions {
+            indent: None,
+            force_declaration: false,
+        }
+    }
+
+    /// Two-space indentation (only safe for element-only content).
+    pub fn pretty() -> Self {
+        WriteOptions {
+            indent: Some(2),
+            force_declaration: false,
+        }
+    }
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions::compact()
+    }
+}
+
+/// Serializes a document to a string.
+pub fn write_document(doc: &Document, options: &WriteOptions) -> String {
+    let mut out = String::new();
+    if let Some(decl) = &doc.decl {
+        out.push_str("<?xml version=\"");
+        out.push_str(&decl.version);
+        out.push('"');
+        if let Some(enc) = &decl.encoding {
+            out.push_str(" encoding=\"");
+            out.push_str(enc);
+            out.push('"');
+        }
+        if let Some(standalone) = decl.standalone {
+            out.push_str(" standalone=\"");
+            out.push_str(if standalone { "yes" } else { "no" });
+            out.push('"');
+        }
+        out.push_str("?>");
+        newline(&mut out, options);
+    } else if options.force_declaration {
+        out.push_str("<?xml version=\"1.0\"?>");
+        newline(&mut out, options);
+    }
+    for node in &doc.prolog {
+        write_node(&mut out, node, 0, options);
+        newline(&mut out, options);
+    }
+    write_element_at(&mut out, &doc.root, 0, options);
+    for node in &doc.epilog {
+        newline(&mut out, options);
+        write_node(&mut out, node, 0, options);
+    }
+    out
+}
+
+/// Serializes a single element (no declaration).
+pub fn write_element(element: &Element, options: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_element_at(&mut out, element, 0, options);
+    out
+}
+
+fn newline(out: &mut String, options: &WriteOptions) {
+    if options.indent.is_some() {
+        out.push('\n');
+    }
+}
+
+fn pad(out: &mut String, depth: usize, options: &WriteOptions) {
+    if let Some(width) = options.indent {
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_element_at(out: &mut String, element: &Element, depth: usize, options: &WriteOptions) {
+    out.push('<');
+    out.push_str(&element.name);
+    for (name, value) in &element.attributes {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        escape_into(out, value, true);
+        out.push('"');
+    }
+    if element.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    // Indentation is only safe when no direct child is text-like.
+    let has_text = element
+        .children
+        .iter()
+        .any(|c| matches!(c, Node::Text(_) | Node::CData(_)));
+    let indent_children = options.indent.is_some() && !has_text;
+    for child in &element.children {
+        if indent_children {
+            newline(out, options);
+            pad(out, depth + 1, options);
+        }
+        write_node(out, child, depth + 1, options);
+    }
+    if indent_children {
+        newline(out, options);
+        pad(out, depth, options);
+    }
+    out.push_str("</");
+    out.push_str(&element.name);
+    out.push('>');
+}
+
+fn write_node(out: &mut String, node: &Node, depth: usize, options: &WriteOptions) {
+    match node {
+        Node::Element(e) => write_element_at(out, e, depth, options),
+        Node::Text(t) => escape_into(out, t, false),
+        Node::CData(t) => {
+            out.push_str("<![CDATA[");
+            out.push_str(t);
+            out.push_str("]]>");
+        }
+        Node::Comment(t) => {
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+        }
+        Node::ProcessingInstruction { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+/// Escapes text content (`<`, `&`, `>`) or attribute values (also `"`).
+pub fn escape_into(out: &mut String, text: &str, attribute: bool) {
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attribute => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Element;
+    use crate::parse;
+
+    #[test]
+    fn compact_output() {
+        let e = Element::new("a")
+            .with_attr("k", "v<w")
+            .with_child(Node::Element(Element::new("b").with_text("x & y")));
+        let s = write_element(&e, &WriteOptions::compact());
+        assert_eq!(s, r#"<a k="v&lt;w"><b>x &amp; y</b></a>"#);
+    }
+
+    #[test]
+    fn pretty_output_reparses_equal_modulo_whitespace() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        let pretty = write_document(&doc, &WriteOptions::pretty());
+        assert!(pretty.contains('\n'));
+        // Pretty output adds whitespace-only text; structure must survive.
+        let reparsed = parse(&pretty).unwrap();
+        assert_eq!(reparsed.root.child_elements().count(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! XQ abstract syntax.
+
+use std::fmt;
+
+/// A complete `for … where … return …` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    pub bindings: Vec<Binding>,
+    pub conditions: Vec<Condition>,
+    pub ret: PathExpr,
+}
+
+/// `$var in path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    pub var: String,
+    pub path: PathExpr,
+}
+
+/// Where a path starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Root {
+    /// `doc("name")`.
+    Doc(String),
+    /// `$var`.
+    Var(String),
+}
+
+/// A path: root plus child/descendant steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathExpr {
+    pub root: Root,
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    pub fn var(name: impl Into<String>) -> Self {
+        PathExpr {
+            root: Root::Var(name.into()),
+            steps: Vec::new(),
+        }
+    }
+
+    /// True once no step carries a qualifier (the post-desugar invariant).
+    pub fn is_desugared(&self) -> bool {
+        self.steps.iter().all(|s| s.qualifiers.is_empty())
+    }
+
+    /// The tag names of the steps, if every step is a plain child step —
+    /// the form the minimal engine evaluates directly.
+    pub fn simple_tags(&self) -> Option<Vec<&str>> {
+        self.steps
+            .iter()
+            .map(|s| match (&s.axis, &s.test) {
+                (Axis::Child, NameTest::Name(n)) if s.qualifiers.is_empty() => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// One path step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NameTest,
+    pub qualifiers: Vec<Qualifier>,
+}
+
+impl Step {
+    pub fn child(name: impl Into<String>) -> Self {
+        Step {
+            axis: Axis::Child,
+            test: NameTest::Name(name.into()),
+            qualifiers: Vec::new(),
+        }
+    }
+}
+
+/// Step axis: `/` or `//`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    Child,
+    DescendantOrSelf,
+}
+
+/// Step test: a tag name or `*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameTest {
+    Name(String),
+    Any,
+}
+
+/// A bracketed qualifier `[p]` or `[p = "c"]` (relative steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Qualifier {
+    Exists(Vec<Step>),
+    Eq(Vec<Step>, String),
+}
+
+/// A `where` conjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// `exists(p)` — some occurrence of `p` (bare qualifiers desugar here).
+    Exists(PathExpr),
+    /// `p = operand`.
+    Eq(PathExpr, Operand),
+}
+
+/// Right-hand side of an equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    Literal(String),
+    /// A path — an equality (join) edge in the query graph.
+    Path(PathExpr),
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.root {
+            Root::Doc(d) => write!(f, "doc(\"{d}\")")?,
+            Root::Var(v) => write!(f, "${v}")?,
+        }
+        for step in &self.steps {
+            match step.axis {
+                Axis::Child => write!(f, "/")?,
+                Axis::DescendantOrSelf => write!(f, "//")?,
+            }
+            match &step.test {
+                NameTest::Name(n) => write!(f, "{n}")?,
+                NameTest::Any => write!(f, "*")?,
+            }
+            for q in &step.qualifiers {
+                write!(f, "[…]")?;
+                let _ = q;
+            }
+        }
+        Ok(())
+    }
+}

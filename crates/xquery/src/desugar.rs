@@ -1,0 +1,214 @@
+//! Qualifier desugaring.
+//!
+//! `$x in P[q]/R` is sugar: the paper's compiler assumes plain paths plus
+//! `where` conjuncts. Each qualified step is split out into a fresh
+//! variable bound to the path up to (and including) that step, and every
+//! qualifier becomes a conjunct rooted at the fresh variable:
+//!
+//! ```text
+//! for $x in doc("d")/a/b[c = "1"]/d  return $x
+//! ⇒
+//! for $v0 in doc("d")/a/b, $x in $v0/d
+//! where $v0/c = "1"
+//! return $x
+//! ```
+//!
+//! Qualifiers nest (`a[b[c]]`); desugaring recurses until no qualifier
+//! remains anywhere in the query.
+
+use crate::ast::*;
+
+/// Rewrites `query` into an equivalent query with no qualifiers.
+pub fn desugar(query: &Query) -> Query {
+    let mut fresh = FreshVars::new(query);
+    let mut bindings = Vec::new();
+    let mut conditions = Vec::new();
+    for binding in &query.bindings {
+        let path = desugar_path(&binding.path, &mut bindings, &mut conditions, &mut fresh);
+        bindings.push(Binding {
+            var: binding.var.clone(),
+            path,
+        });
+    }
+    for condition in &query.conditions {
+        let rewritten = match condition {
+            Condition::Exists(p) => {
+                Condition::Exists(desugar_path(p, &mut bindings, &mut conditions, &mut fresh))
+            }
+            Condition::Eq(left, right) => {
+                let left = desugar_path(left, &mut bindings, &mut conditions, &mut fresh);
+                let right = match right {
+                    Operand::Literal(l) => Operand::Literal(l.clone()),
+                    Operand::Path(p) => {
+                        Operand::Path(desugar_path(p, &mut bindings, &mut conditions, &mut fresh))
+                    }
+                };
+                Condition::Eq(left, right)
+            }
+        };
+        conditions.push(rewritten);
+    }
+    let ret = desugar_path(&query.ret, &mut bindings, &mut conditions, &mut fresh);
+    Query {
+        bindings,
+        conditions,
+        ret,
+    }
+}
+
+/// Splits a path at each qualified step, appending fresh bindings and
+/// conjuncts; returns the qualifier-free tail path.
+fn desugar_path(
+    path: &PathExpr,
+    bindings: &mut Vec<Binding>,
+    conditions: &mut Vec<Condition>,
+    fresh: &mut FreshVars,
+) -> PathExpr {
+    let mut root = path.root.clone();
+    let mut pending: Vec<Step> = Vec::new();
+    for step in &path.steps {
+        let clean = Step {
+            axis: step.axis,
+            test: step.test.clone(),
+            qualifiers: Vec::new(),
+        };
+        pending.push(clean);
+        if step.qualifiers.is_empty() {
+            continue;
+        }
+        // Bind a fresh variable to everything up to this step.
+        let var = fresh.next();
+        bindings.push(Binding {
+            var: var.clone(),
+            path: PathExpr {
+                root: root.clone(),
+                steps: std::mem::take(&mut pending),
+            },
+        });
+        root = Root::Var(var.clone());
+        for qualifier in &step.qualifiers {
+            let (rel, value) = match qualifier {
+                Qualifier::Exists(rel) => (rel, None),
+                Qualifier::Eq(rel, value) => (rel, Some(value.clone())),
+            };
+            // Qualifier paths may themselves carry qualifiers: recurse.
+            let rel_path = desugar_path(
+                &PathExpr {
+                    root: Root::Var(var.clone()),
+                    steps: rel.clone(),
+                },
+                bindings,
+                conditions,
+                fresh,
+            );
+            conditions.push(match value {
+                None => Condition::Exists(rel_path),
+                Some(v) => Condition::Eq(rel_path, Operand::Literal(v)),
+            });
+        }
+    }
+    PathExpr {
+        root,
+        steps: pending,
+    }
+}
+
+/// Fresh-variable generator avoiding every name used in the query.
+struct FreshVars {
+    used: std::collections::HashSet<String>,
+    next: usize,
+}
+
+impl FreshVars {
+    fn new(query: &Query) -> Self {
+        let mut used = std::collections::HashSet::new();
+        for b in &query.bindings {
+            used.insert(b.var.clone());
+        }
+        FreshVars { used, next: 0 }
+    }
+
+    fn next(&mut self) -> String {
+        loop {
+            let candidate = format!("v{}", self.next);
+            self.next += 1;
+            if !self.used.contains(&candidate) {
+                self.used.insert(candidate.clone());
+                return candidate;
+            }
+        }
+    }
+}
+
+/// True when no qualifier remains anywhere in the query.
+pub fn is_fully_desugared(query: &Query) -> bool {
+    let path_ok = |p: &PathExpr| p.is_desugared();
+    query.bindings.iter().all(|b| path_ok(&b.path))
+        && query.conditions.iter().all(|c| match c {
+            Condition::Exists(p) => path_ok(p),
+            Condition::Eq(l, Operand::Path(r)) => path_ok(l) && path_ok(r),
+            Condition::Eq(l, Operand::Literal(_)) => path_ok(l),
+        })
+        && path_ok(&query.ret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn splits_mid_path_qualifier() {
+        let q = parse_query(r#"for $x in doc("d")/a/b[c = "1"]/d return $x"#).unwrap();
+        let d = desugar(&q);
+        assert!(is_fully_desugared(&d));
+        assert_eq!(d.bindings.len(), 2);
+        assert_eq!(format!("{}", d.bindings[0].path), "doc(\"d\")/a/b");
+        assert_eq!(d.bindings[1].var, "x");
+        assert_eq!(format!("{}", d.bindings[1].path), "$v0/d");
+        assert_eq!(d.conditions.len(), 1);
+        match &d.conditions[0] {
+            Condition::Eq(p, Operand::Literal(v)) => {
+                assert_eq!(format!("{p}"), "$v0/c");
+                assert_eq!(v, "1");
+            }
+            other => panic!("unexpected condition {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_qualifier_attaches_to_fresh_var() {
+        let q = parse_query(r#"for $x in doc("d")/a[b] return $x/c"#).unwrap();
+        let d = desugar(&q);
+        assert!(is_fully_desugared(&d));
+        // $v0 = doc/a (the qualified step), $x = $v0 (empty tail).
+        assert_eq!(d.bindings.len(), 2);
+        assert_eq!(format!("{}", d.bindings[1].path), "$v0");
+        assert!(matches!(&d.conditions[0], Condition::Exists(_)));
+    }
+
+    #[test]
+    fn nested_qualifiers_recurse() {
+        let q = parse_query(r#"for $x in doc("d")/a[b[c = "2"]] return $x"#).unwrap();
+        let d = desugar(&q);
+        assert!(is_fully_desugared(&d));
+        // a gets $v0; its qualifier path b[c="2"] gets $v1.
+        assert_eq!(d.bindings.len(), 3);
+        assert_eq!(d.conditions.len(), 2);
+    }
+
+    #[test]
+    fn qualifier_free_query_is_unchanged() {
+        let q = parse_query(r#"for $x in doc("d")/a/b where $x/c = "v" return $x/d"#).unwrap();
+        let d = desugar(&q);
+        assert_eq!(q, d);
+    }
+
+    #[test]
+    fn fresh_vars_avoid_collisions() {
+        let q = parse_query(r#"for $v0 in doc("d")/a[b] return $v0"#).unwrap();
+        let d = desugar(&q);
+        let names: Vec<_> = d.bindings.iter().map(|b| b.var.as_str()).collect();
+        assert_eq!(names.iter().filter(|n| **n == "v0").count(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! XQ tokenizer.
+
+use crate::{Result, XqError};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    For,
+    In,
+    Where,
+    Return,
+    And,
+    Doc,
+    Exists,
+    /// `$name`.
+    Var(String),
+    /// A tag name (or other bare identifier).
+    Name(String),
+    /// `"…"` or `'…'`.
+    Literal(String),
+    /// A bare number, carried as its source text (values compare as text).
+    Number(String),
+    Slash,
+    DoubleSlash,
+    Star,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Equals,
+    Eof,
+}
+
+/// A token plus its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let token = match b {
+            b'/' => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'/') {
+                    pos += 1;
+                    Token::DoubleSlash
+                } else {
+                    Token::Slash
+                }
+            }
+            b'*' => {
+                pos += 1;
+                Token::Star
+            }
+            b'[' => {
+                pos += 1;
+                Token::LBracket
+            }
+            b']' => {
+                pos += 1;
+                Token::RBracket
+            }
+            b'(' => {
+                pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                pos += 1;
+                Token::RParen
+            }
+            b',' => {
+                pos += 1;
+                Token::Comma
+            }
+            b'=' => {
+                pos += 1;
+                Token::Equals
+            }
+            b'$' => {
+                pos += 1;
+                let name = take_name(bytes, &mut pos);
+                if name.is_empty() {
+                    return Err(XqError {
+                        offset: start,
+                        message: "expected variable name after `$`".into(),
+                    });
+                }
+                Token::Var(name)
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                pos += 1;
+                let lit_start = pos;
+                while pos < bytes.len() && bytes[pos] != quote {
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    return Err(XqError {
+                        offset: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                let text = std::str::from_utf8(&bytes[lit_start..pos])
+                    .expect("slicing on byte boundaries of valid UTF-8")
+                    .to_string();
+                pos += 1;
+                Token::Literal(text)
+            }
+            b'0'..=b'9' => {
+                while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.') {
+                    pos += 1;
+                }
+                Token::Number(
+                    std::str::from_utf8(&bytes[start..pos])
+                        .expect("ascii digits")
+                        .to_string(),
+                )
+            }
+            _ if is_name_start(b) => {
+                let name = take_name(bytes, &mut pos);
+                match name.as_str() {
+                    "for" => Token::For,
+                    "in" => Token::In,
+                    "where" => Token::Where,
+                    "return" => Token::Return,
+                    "and" => Token::And,
+                    "doc" => Token::Doc,
+                    "exists" => Token::Exists,
+                    _ => Token::Name(name),
+                }
+            }
+            _ => {
+                return Err(XqError {
+                    offset: pos,
+                    message: format!("unexpected character `{}`", b as char),
+                })
+            }
+        };
+        out.push(Spanned {
+            token,
+            offset: start,
+        });
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        offset: bytes.len(),
+    });
+    Ok(out)
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b'@' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+fn take_name(bytes: &[u8], pos: &mut usize) -> String {
+    let start = *pos;
+    while *pos < bytes.len() && is_name_char(bytes[*pos]) {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .expect("name chars form valid UTF-8")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let toks = tokenize(r#"for $x in doc("ml")/a//b[c = "v"] return $x/d"#).unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|s| s.token).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Token::For,
+                Token::Var("x".into()),
+                Token::In,
+                Token::Doc,
+                Token::LParen,
+                Token::Literal("ml".into()),
+                Token::RParen,
+                Token::Slash,
+                Token::Name("a".into()),
+                Token::DoubleSlash,
+                Token::Name("b".into()),
+                Token::LBracket,
+                Token::Name("c".into()),
+                Token::Equals,
+                Token::Literal("v".into()),
+                Token::RBracket,
+                Token::Return,
+                Token::Var("x".into()),
+                Token::Slash,
+                Token::Name("d".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("for $ in x").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+}

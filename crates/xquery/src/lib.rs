@@ -1,0 +1,55 @@
+//! `vx-xquery` — the XQ query-language front end (DESIGN.md row 5).
+//!
+//! XQ is the paper's practical XQuery fragment:
+//!
+//! ```text
+//! query    := "for" binding ("," binding)*
+//!             ("where" cond ("and" cond)*)?
+//!             "return" path
+//! binding  := $var "in" path
+//! path     := ( doc("name") | $var ) step*
+//! step     := "/" name | "//" name | "/" "*" | step "[" qual "]"
+//! qual     := relpath | relpath "=" literal
+//! ```
+//!
+//! `//` (descendant-or-self) and `*` (wildcard) form the XQ[*,//]
+//! extension; the parser accepts them and the engine decides what it
+//! supports. Qualifiers are syntactic sugar: [`desugar`] rewrites
+//! `$x in P[q]/R` into fresh-variable bindings plus `where` conjuncts,
+//! after which no qualifier remains (the form the query-graph compiler
+//! consumes).
+
+pub mod ast;
+mod desugar;
+mod lexer;
+mod parser;
+
+pub use ast::{
+    Axis, Binding, Condition, NameTest, Operand, PathExpr, Qualifier, Query, Root, Step,
+};
+pub use desugar::{desugar, is_fully_desugared};
+pub use parser::parse_query;
+
+use std::fmt;
+
+/// A parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XqError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for XqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XQ parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for XqError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, XqError>;

@@ -1,0 +1,250 @@
+//! Recursive-descent parser for XQ.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::{Result, XqError};
+
+/// Parses an XQ query.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let query = p.query()?;
+    p.expect(&Token::Eof)?;
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> XqError {
+        XqError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<()> {
+        if self.peek() == token {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {token:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect(&Token::For)?;
+        let mut bindings = vec![self.binding()?];
+        while self.peek() == &Token::Comma {
+            self.bump();
+            bindings.push(self.binding()?);
+        }
+        let mut conditions = Vec::new();
+        if self.peek() == &Token::Where {
+            self.bump();
+            conditions.push(self.condition()?);
+            while self.peek() == &Token::And {
+                self.bump();
+                conditions.push(self.condition()?);
+            }
+        }
+        self.expect(&Token::Return)?;
+        let ret = self.path()?;
+        Ok(Query {
+            bindings,
+            conditions,
+            ret,
+        })
+    }
+
+    fn binding(&mut self) -> Result<Binding> {
+        let var = match self.bump() {
+            Token::Var(v) => v,
+            other => return Err(self.err(format!("expected $variable, found {other:?}"))),
+        };
+        self.expect(&Token::In)?;
+        let path = self.path()?;
+        Ok(Binding { var, path })
+    }
+
+    fn path(&mut self) -> Result<PathExpr> {
+        let root = match self.bump() {
+            Token::Doc => {
+                self.expect(&Token::LParen)?;
+                let name = match self.bump() {
+                    Token::Literal(s) => s,
+                    other => {
+                        return Err(self.err(format!("expected document name, found {other:?}")))
+                    }
+                };
+                self.expect(&Token::RParen)?;
+                Root::Doc(name)
+            }
+            Token::Var(v) => Root::Var(v),
+            other => return Err(self.err(format!("expected doc(\"…\") or $var, found {other:?}"))),
+        };
+        let steps = self.steps()?;
+        Ok(PathExpr { root, steps })
+    }
+
+    /// Zero or more `/name`, `//name`, `/*` steps with qualifiers.
+    fn steps(&mut self) -> Result<Vec<Step>> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = match self.peek() {
+                Token::Slash => Axis::Child,
+                Token::DoubleSlash => Axis::DescendantOrSelf,
+                _ => return Ok(steps),
+            };
+            self.bump();
+            let test = match self.bump() {
+                Token::Name(n) => NameTest::Name(n),
+                Token::Star => NameTest::Any,
+                other => return Err(self.err(format!("expected step name or *, found {other:?}"))),
+            };
+            let mut qualifiers = Vec::new();
+            while self.peek() == &Token::LBracket {
+                self.bump();
+                qualifiers.push(self.qualifier()?);
+                self.expect(&Token::RBracket)?;
+            }
+            steps.push(Step {
+                axis,
+                test,
+                qualifiers,
+            });
+        }
+    }
+
+    /// Inside `[ … ]`: a relative path, optionally `= literal`.
+    fn qualifier(&mut self) -> Result<Qualifier> {
+        let rel = self.relative_steps()?;
+        if self.peek() == &Token::Equals {
+            self.bump();
+            let value = match self.bump() {
+                Token::Literal(s) => s,
+                Token::Number(n) => n,
+                other => return Err(self.err(format!("expected literal, found {other:?}"))),
+            };
+            Ok(Qualifier::Eq(rel, value))
+        } else {
+            Ok(Qualifier::Exists(rel))
+        }
+    }
+
+    /// `name(/name)*` — the relative path of a qualifier (leading slash
+    /// omitted, as in the paper's `[p = c]`).
+    fn relative_steps(&mut self) -> Result<Vec<Step>> {
+        let mut first = match self.bump() {
+            Token::Name(n) => Step::child(n),
+            other => return Err(self.err(format!("expected relative path, found {other:?}"))),
+        };
+        while self.peek() == &Token::LBracket {
+            self.bump();
+            first.qualifiers.push(self.qualifier()?);
+            self.expect(&Token::RBracket)?;
+        }
+        let mut steps = vec![first];
+        steps.extend(self.steps()?);
+        Ok(steps)
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        if self.peek() == &Token::Exists {
+            self.bump();
+            self.expect(&Token::LParen)?;
+            let path = self.path()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Condition::Exists(path));
+        }
+        let left = self.path()?;
+        self.expect(&Token::Equals)?;
+        let right = match self.peek().clone() {
+            Token::Literal(s) => {
+                self.bump();
+                Operand::Literal(s)
+            }
+            Token::Number(n) => {
+                self.bump();
+                Operand::Literal(n)
+            }
+            Token::Doc | Token::Var(_) => Operand::Path(self.path()?),
+            other => return Err(self.err(format!("expected literal or path, found {other:?}"))),
+        };
+        Ok(Condition::Eq(left, right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_selection_query() {
+        let q = parse_query(
+            r#"for $x in doc("ml")/MedlineCitationSet/MedlineCitation
+               where $x/Language = "ENG"
+               return $x/PMID"#,
+        )
+        .unwrap();
+        assert_eq!(q.bindings.len(), 1);
+        assert_eq!(q.bindings[0].var, "x");
+        assert_eq!(
+            q.bindings[0].path.simple_tags().unwrap(),
+            vec!["MedlineCitationSet", "MedlineCitation"]
+        );
+        assert_eq!(q.conditions.len(), 1);
+        assert_eq!(format!("{}", q.ret), "$x/PMID");
+    }
+
+    #[test]
+    fn parses_qualifiers_joins_and_xq_star_slashslash() {
+        let q = parse_query(
+            r#"for $x in doc("d")/a/b[c = "1"][d], $y in $x//e
+               where $x/f = $y/g and exists($y/h)
+               return $y/*"#,
+        )
+        .unwrap();
+        assert_eq!(q.bindings[0].path.steps[1].qualifiers.len(), 2);
+        assert_eq!(q.bindings[1].path.steps[0].axis, Axis::DescendantOrSelf);
+        assert!(matches!(
+            &q.conditions[0],
+            Condition::Eq(_, Operand::Path(_))
+        ));
+        assert!(matches!(&q.conditions[1], Condition::Exists(_)));
+        assert_eq!(q.ret.steps[0].test, NameTest::Any);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "for x in doc(\"d\") return $x",
+            "for $x in doc(d) return $x",
+            "for $x in doc(\"d\")/a where return $x",
+            "for $x in doc(\"d\")/a[b = ] return $x",
+            "for $x in doc(\"d\")/a return $x extra",
+        ] {
+            assert!(parse_query(bad).is_err(), "expected failure for {bad:?}");
+        }
+    }
+}

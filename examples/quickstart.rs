@@ -1,0 +1,66 @@
+//! End-to-end tour: parse → vectorize → persist → reload → reconstruct →
+//! query. Run with `cargo run --example quickstart`.
+
+use xmlvec::core::{reconstruct, vectorize, Compaction, Store};
+
+fn main() -> xmlvec::Result<()> {
+    // 1. Parse a small MedLine-shaped document.
+    let xml = r#"<MedlineCitationSet>
+        <MedlineCitation>
+            <PMID>10000001</PMID>
+            <Article><ArticleTitle>On vectorizing trees</ArticleTitle></Article>
+            <Language>ENG</Language>
+        </MedlineCitation>
+        <MedlineCitation>
+            <PMID>10000002</PMID>
+            <Article><ArticleTitle>Sur les arbres</ArticleTitle></Article>
+            <Language>FRE</Language>
+        </MedlineCitation>
+        <MedlineCitation>
+            <PMID>10000003</PMID>
+            <Article><ArticleTitle>Skeletons and vectors</ArticleTitle></Article>
+            <Language>ENG</Language>
+        </MedlineCitation>
+    </MedlineCitationSet>"#;
+    let document = xmlvec::xml::parse(xml)?;
+
+    // 2. Vectorize: VEC(T) = (skeleton, vectors).
+    let vec_doc = vectorize(&document)?;
+    println!(
+        "skeleton: {} DAG nodes for {} tree nodes",
+        vec_doc.skeleton.len(),
+        vec_doc.node_count()
+    );
+    for vector in vec_doc.vectors() {
+        println!("vector {:45} {} values", vector.path, vector.values.len());
+    }
+
+    // 3. Persist the store and reload it.
+    let dir = std::env::temp_dir().join("xmlvec-quickstart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let catalog = Store::save(&dir, &vec_doc, Compaction::Auto)?;
+    println!(
+        "saved {} vectors to {}",
+        catalog.vectors.len(),
+        dir.display()
+    );
+    let (reloaded, _catalog) = Store::open(&dir)?;
+
+    // 4. Reconstruct the original document from the store.
+    let back = reconstruct(&reloaded)?;
+    assert_eq!(back.root, document.root);
+    println!("reconstruction is lossless");
+
+    // 5. Evaluate an XQ selection against the vectors — no tree rebuild.
+    let results = xmlvec::query(
+        &reloaded,
+        r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation
+           where $c/Language = "ENG"
+           return $c/PMID"#,
+    )?;
+    println!("English-language PMIDs: {results:?}");
+    assert_eq!(results, vec!["10000001", "10000003"]);
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

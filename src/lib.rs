@@ -1,0 +1,157 @@
+//! `xmlvec` — a vectorized native XML store and XQuery engine, after
+//! Buneman, Choi, Fan, Hutchison, Mann & Viglas, *Vectorizing and
+//! Querying Large XML Repositories* (ICDE 2005).
+//!
+//! A document `T` is stored as `VEC(T) = (S, V)`: `S` is the tree
+//! *skeleton* compressed into a hash-consed DAG with run-length edges,
+//! and `V` is one *vector* per root-to-text tag path holding that path's
+//! text values in document order. Vectorization and reconstruction are
+//! both linear (`Props. 2.1/2.2`), and queries evaluate against `(S, V)`
+//! directly — structure on the skeleton, values on exactly the vectors
+//! the query names.
+//!
+//! The workspace is strictly layered; each crate owns one layer and one
+//! error type, and this facade re-exports them plus a unified [`Error`]:
+//!
+//! | crate | layer |
+//! |---|---|
+//! | [`vx_xml`](xml) | XML 1.0 parser, DOM, writer |
+//! | [`vx_storage`](storage) | varints, paged file access |
+//! | [`vx_skeleton`](skeleton) | hash-consed DAG, `.vxsk` format, path index |
+//! | [`vx_vector`](vector) | `.vec` format, skip index, cursors |
+//! | [`vx_core`](core) | vectorize / reconstruct, persistent store |
+//! | [`vx_xquery`](xquery) | XQ parsing + desugaring |
+//! | [`vx_engine`](engine) | query graphs, vectorized `reduce`, oracle |
+//! | [`vx_baselines`](baselines) | comparison-system interface (stubs) |
+//! | [`vx_data`](data) | deterministic corpus generators |
+//! | [`vx_bench`](bench) | store size measurement |
+//!
+//! Quick start (`examples/quickstart.rs` runs the full loop):
+//!
+//! ```
+//! let doc = xmlvec::xml::parse("<r><e><k>a</k></e><e><k>b</k></e></r>")?;
+//! let vec_doc = xmlvec::core::vectorize(&doc)?;
+//! let ks = xmlvec::query(&vec_doc, r#"for $e in doc("d")/r/e return $e/k"#)?;
+//! assert_eq!(ks, ["a", "b"]);
+//! # Ok::<(), xmlvec::Error>(())
+//! ```
+
+pub use vx_baselines as baselines;
+pub use vx_bench as bench;
+pub use vx_core as core;
+pub use vx_data as data;
+pub use vx_engine as engine;
+pub use vx_skeleton as skeleton;
+pub use vx_storage as storage;
+pub use vx_vector as vector;
+pub use vx_xml as xml;
+pub use vx_xquery as xquery;
+
+use std::fmt;
+
+/// Any error from any layer, for callers that do not care which.
+#[derive(Debug)]
+pub enum Error {
+    Xml(vx_xml::XmlError),
+    Storage(vx_storage::StorageError),
+    Skeleton(vx_skeleton::SkeletonError),
+    Vector(vx_vector::VectorError),
+    Core(vx_core::CoreError),
+    Xq(vx_xquery::XqError),
+    Engine(vx_engine::EngineError),
+    Baseline(vx_baselines::BaselineError),
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml(e) => write!(f, "{e}"),
+            Error::Storage(e) => write!(f, "{e}"),
+            Error::Skeleton(e) => write!(f, "{e}"),
+            Error::Vector(e) => write!(f, "{e}"),
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Xq(e) => write!(f, "{e}"),
+            Error::Engine(e) => write!(f, "{e}"),
+            Error::Baseline(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Xml(e) => Some(e),
+            Error::Storage(e) => Some(e),
+            Error::Skeleton(e) => Some(e),
+            Error::Vector(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Xq(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::Baseline(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for Error {
+            fn from(e: $ty) -> Self {
+                Error::$variant(e)
+            }
+        }
+    };
+}
+
+from_error!(Xml, vx_xml::XmlError);
+from_error!(Storage, vx_storage::StorageError);
+from_error!(Skeleton, vx_skeleton::SkeletonError);
+from_error!(Vector, vx_vector::VectorError);
+from_error!(Core, vx_core::CoreError);
+from_error!(Xq, vx_xquery::XqError);
+from_error!(Engine, vx_engine::EngineError);
+from_error!(Baseline, vx_baselines::BaselineError);
+from_error!(Io, std::io::Error);
+
+/// Result alias over the unified [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Parses XML text and vectorizes it in one step.
+pub fn vectorize_str(xml_text: &str) -> Result<vx_core::VecDoc> {
+    let doc = vx_xml::parse(xml_text)?;
+    Ok(vx_core::vectorize(&doc)?)
+}
+
+/// Reconstructs a vectorized document back to XML text (compact form).
+pub fn to_xml(doc: &vx_core::VecDoc) -> Result<String> {
+    let document = vx_core::reconstruct(doc)?;
+    Ok(vx_xml::write_document(
+        &document,
+        &vx_xml::WriteOptions::compact(),
+    ))
+}
+
+/// Runs an XQ query against a vectorized document.
+pub fn query(doc: &vx_core::VecDoc, xq: &str) -> Result<Vec<String>> {
+    Ok(vx_engine::run(doc, xq)?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_round_trip_and_query() {
+        let xml = "<r><e><k>a</k></e><e><k>b</k></e></r>";
+        let doc = crate::vectorize_str(xml).unwrap();
+        assert_eq!(crate::to_xml(&doc).unwrap(), xml);
+        assert_eq!(
+            crate::query(
+                &doc,
+                r#"for $e in doc("d")/r/e where $e/k = "b" return $e/k"#
+            )
+            .unwrap(),
+            vec!["b"]
+        );
+    }
+}
