@@ -13,12 +13,14 @@
 //!   `v{NNNNNN}.vec`, and `catalog.json`, plus a salvage loader for stores
 //!   damaged by the seed capture's byte-dropping sanitizer.
 
+mod builder;
 pub mod json;
 mod reconstruct;
 mod store;
 mod vecdoc;
 mod vectorize;
 
+pub use builder::VecDocBuilder;
 pub use reconstruct::{reconstruct, reconstruct_salvage, ReconstructReport};
 pub use store::{Catalog, CatalogEntry, Compaction, SalvageStore, Store};
 pub use vecdoc::{PathVector, VecDoc};

@@ -1,201 +1,432 @@
-//! Query-graph compilation.
+//! Query-graph compilation for XQ[*,//].
 //!
 //! A desugared XQ query is a set of variable bindings plus conjunctive
-//! conditions. The supported fragment is *tree selection with projection*:
-//! the return variable resolves (through its binding chain) to one
-//! absolute element path, and every condition filters occurrences of some
-//! ancestor on that chain. Compilation flattens this into a [`QueryGraph`]
-//! that names only tag paths — the form [`crate::reduce`] evaluates with
-//! prefix-sum vector arithmetic.
+//! conditions and a return template. Compilation flattens this into a
+//! [`QueryGraph`]: a DAG of *variable nodes* (each rooted at a document
+//! or at a parent variable, reached through a step pattern that may use
+//! `*` and `//`), *value references* hanging off the variables (the
+//! relative paths whose text values a filter, join, or output needs),
+//! literal *selection filters*, equality *join edges*, and an *output*
+//! that is either a projected value sequence or a result-skeleton
+//! template for element construction.
+//!
+//! Document-rooted condition and content paths are normalized by
+//! synthesizing an anchor variable with an empty pattern — a variable
+//! whose single "occurrence" is the document itself — so evaluation
+//! needs exactly one notion of anchoring.
+//!
+//! The checks each block performs are ordered *selections before joins*:
+//! literal filters become per-occurrence marks consulted the moment a
+//! variable binds, while join edges are checked at the latest variable
+//! they mention (`ready_at`), over already-filtered occurrence lists.
 
 use crate::{EngineError, Result};
 use std::collections::HashMap;
-use vx_xquery::{desugar, Condition, Operand, PathExpr, Query, Root};
+use vx_xquery::{
+    desugar, Axis, Condition, Content, ElemConstructor, NameTest, Operand, PathExpr, Query,
+    ReturnExpr, Root, Span,
+};
 
-/// A compiled query: selection filters plus one projection.
+/// One step of a compiled path pattern (name-level; tag ids are resolved
+/// against each document's skeleton at evaluation time).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryGraph {
-    /// Document name from `doc("…")` (informational; evaluation always
-    /// targets the document it is handed).
-    pub doc: String,
-    /// Absolute element tag path of the return variable, root tag first.
-    pub target: Vec<String>,
-    /// Relative tag path from the target to the projected text values.
-    pub ret_rel: Vec<String>,
-    /// Conjunctive filters.
-    pub filters: Vec<Filter>,
+pub struct PatStep {
+    /// `true` for `//`, `false` for `/`.
+    pub descend: bool,
+    pub test: PatTest,
 }
 
-/// One filter, anchored at a prefix of the target path.
-///
-/// `anchor` is a prefix length of [`QueryGraph::target`]: a target
-/// occurrence survives the filter iff its ancestor at depth `anchor`
-/// satisfies the test existentially along `rel`. `anchor == 0` anchors at
-/// the document itself (a global condition: all-or-nothing).
+/// A step test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatTest {
+    Name(String),
+    /// `*` — any element tag (but never the synthetic `@attr` names).
+    Any,
+}
+
+/// A variable node of the query DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarNode {
+    /// Source name, or `""` for synthesized document anchors.
+    pub name: String,
+    /// `Some(doc)` when rooted at `doc("…")`.
+    pub doc: Option<String>,
+    /// `Some(index)` when rooted at another variable (always earlier in
+    /// [`QueryGraph::vars`] — the list is topologically ordered).
+    pub parent: Option<usize>,
+    /// Steps from the root to the variable's elements.
+    pub steps: Vec<PatStep>,
+}
+
+/// What evaluation must collect for a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefKind {
+    /// Only whether a matching element exists below the occurrence.
+    Exists,
+    /// The text values of matching elements (vector positions).
+    Values,
+    /// Deep copies of matching elements (for element construction).
+    Copy,
+}
+
+/// A relative path evaluated below every occurrence of a variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueRef {
+    pub var: usize,
+    pub steps: Vec<PatStep>,
+    pub kind: RefKind,
+}
+
+/// A literal selection attached to one variable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Filter {
-    pub anchor: usize,
-    pub rel: Vec<String>,
-    pub test: Test,
+    pub var: usize,
+    pub test: FilterTest,
+    /// Position within the owning block's `vars` after which the filter
+    /// can be checked; `None` means every mentioned variable is bound
+    /// outside the block (check on block entry).
+    pub ready_at: Option<usize>,
 }
 
 /// Filter test.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Test {
-    /// Some occurrence of the relative path exists.
-    Exists,
-    /// Some text value at the relative path equals the literal.
-    Eq(String),
+pub enum FilterTest {
+    /// Some occurrence of the reference exists.
+    Exists(usize),
+    /// Some text value of the reference equals the literal.
+    Eq(usize, String),
+    /// Two references below the *same* variable share a value
+    /// (a degenerate equality edge).
+    PathPair(usize, usize),
+}
+
+/// An equality (join) edge between value references on two variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Join {
+    pub left: usize,
+    pub right: usize,
+    /// See [`Filter::ready_at`].
+    pub ready_at: Option<usize>,
+}
+
+/// One FLWR scope: the top-level query or a nested FLWR in a constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Global indices into [`QueryGraph::vars`], in iteration order.
+    pub vars: Vec<usize>,
+    pub filters: Vec<Filter>,
+    pub joins: Vec<Join>,
+    pub output: Output,
+}
+
+/// What a block emits per binding tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// `return $x/p` — the text values of a reference.
+    Values(usize),
+    /// `return <r>…</r>` — a constructed element.
+    Document(Template),
+}
+
+/// A compiled element constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    pub tag: String,
+    pub content: Vec<TplItem>,
+}
+
+/// One compiled content item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TplItem {
+    /// `{$x/p}` — deep copies of the matched elements (a `Copy` ref).
+    Copy(usize),
+    /// A nested constructor.
+    Element(Template),
+    /// `{for … return …}` — a nested block.
+    Block(Block),
+}
+
+/// A compiled query: variable DAG, references, and the top-level block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryGraph {
+    pub vars: Vec<VarNode>,
+    pub refs: Vec<ValueRef>,
+    pub block: Block,
+}
+
+impl QueryGraph {
+    /// Every distinct `doc("…")` name the query mentions.
+    pub fn doc_names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for var in &self.vars {
+            if let Some(doc) = &var.doc {
+                if !out.contains(&doc.as_str()) {
+                    out.push(doc);
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Compiles `query` (desugaring first) into a [`QueryGraph`].
 ///
-/// Returns [`EngineError::Unsupported`] for wildcards, `//`, joins,
-/// whole-element returns, and bindings that are neither on the return
-/// variable's chain nor purely existential.
+/// Returns a structured [`EngineError::Unsupported`] for the constructs
+/// that remain outside the fragment: whole-element bare returns,
+/// document-rooted bare returns, qualifiers inside constructor content,
+/// and patterns longer than 63 steps.
 pub fn compile(query: &Query) -> Result<QueryGraph> {
     let query = desugar(query);
-
-    // Resolve every variable to (document, absolute tag path).
-    let mut resolved: HashMap<&str, (String, Vec<String>)> = HashMap::new();
-    for binding in &query.bindings {
-        let tags = simple_tags(&binding.path)?;
-        let (doc, mut abs) = match &binding.path.root {
-            Root::Doc(d) => (d.clone(), Vec::new()),
-            Root::Var(v) => resolved
-                .get(v.as_str())
-                .cloned()
-                .ok_or_else(|| EngineError::Unsupported(format!("unbound variable ${v}")))?,
-        };
-        abs.extend(tags);
-        resolved.insert(binding.var.as_str(), (doc, abs));
-    }
-
-    // The target is the return path's root variable.
-    let target_var = match &query.ret.root {
-        Root::Var(v) => v.as_str(),
-        Root::Doc(_) => {
-            return Err(EngineError::Unsupported(
-                "return path must start from a bound variable".into(),
-            ))
-        }
+    let mut c = Compiler {
+        vars: Vec::new(),
+        refs: Vec::new(),
+        scopes: Vec::new(),
     };
-    let ret_rel = simple_tags(&query.ret)?;
-    if ret_rel.is_empty() {
-        return Err(EngineError::Unsupported(
-            "return must project a path below the variable (whole-element \
-             return is not implemented yet)"
-                .into(),
-        ));
-    }
-    let (doc, target) = resolved
-        .get(target_var)
-        .cloned()
-        .ok_or_else(|| EngineError::Unsupported(format!("unbound variable ${target_var}")))?;
-
-    // The chain: variables whose binding path the target passes through.
-    // Their absolute paths are exactly the anchors filters may attach to.
-    let mut chain_depths: HashMap<&str, usize> = HashMap::new();
-    {
-        let mut var = target_var;
-        loop {
-            let (_, abs) = &resolved[var];
-            chain_depths.insert(var, abs.len());
-            match &query
-                .bindings
-                .iter()
-                .find(|b| b.var == var)
-                .expect("resolved implies bound")
-                .path
-                .root
-            {
-                Root::Var(v) => var = v.as_str(),
-                Root::Doc(_) => break,
-            }
-        }
-    }
-
-    let mut filters = Vec::new();
-
-    // Explicit conditions, anchored where their variable meets the chain.
-    for condition in &query.conditions {
-        let (path, test) = match condition {
-            Condition::Exists(p) => (p, Test::Exists),
-            Condition::Eq(p, Operand::Literal(l)) => (p, Test::Eq(l.clone())),
-            Condition::Eq(_, Operand::Path(_)) => {
-                return Err(EngineError::Unsupported(
-                    "joins (path = path) are not implemented yet".into(),
-                ))
-            }
-        };
-        let rel = simple_tags(path)?;
-        let (anchor, prefix) = anchor_of(&path.root, &query.bindings, &chain_depths)?;
-        filters.push(Filter {
-            anchor,
-            rel: prefix.into_iter().chain(rel).collect(),
-            test,
-        });
-    }
-
-    // Bindings off the chain contribute existential filters: XQ qualifiers
-    // are existential, and desugaring may have hoisted them into bindings.
-    for binding in &query.bindings {
-        if chain_depths.contains_key(binding.var.as_str()) {
-            continue;
-        }
-        let root = Root::Var(binding.var.clone());
-        let (anchor, prefix) = anchor_of(&root, &query.bindings, &chain_depths)?;
-        filters.push(Filter {
-            anchor,
-            rel: prefix,
-            test: Test::Exists,
-        });
-    }
-
+    let block = c.compile_block(&query)?;
     Ok(QueryGraph {
-        doc,
-        target,
-        ret_rel,
-        filters,
+        vars: c.vars,
+        refs: c.refs,
+        block,
     })
 }
 
-/// Where a condition path attaches to the target chain: follows the path's
-/// root variable through binding roots until a chain variable (anchor =
-/// that variable's depth) or the document (anchor = 0); returns the tag
-/// prefix accumulated on the way, to be prepended to the condition's own
-/// steps.
-fn anchor_of(
-    root: &Root,
-    bindings: &[vx_xquery::Binding],
-    chain_depths: &HashMap<&str, usize>,
-) -> Result<(usize, Vec<String>)> {
-    match root {
-        Root::Doc(_) => Ok((0, Vec::new())),
-        Root::Var(v) => {
-            if let Some(&depth) = chain_depths.get(v.as_str()) {
-                return Ok((depth, Vec::new()));
-            }
-            let binding = bindings
-                .iter()
-                .find(|b| &b.var == v)
-                .ok_or_else(|| EngineError::Unsupported(format!("unbound variable ${v}")))?;
-            let (anchor, mut prefix) = anchor_of(&binding.path.root, bindings, chain_depths)?;
-            prefix.extend(simple_tags(&binding.path)?);
-            Ok((anchor, prefix))
+struct Compiler {
+    vars: Vec<VarNode>,
+    refs: Vec<ValueRef>,
+    /// Lexical scopes (innermost last): variable name → global index.
+    scopes: Vec<HashMap<String, usize>>,
+}
+
+impl Compiler {
+    fn compile_block(&mut self, query: &Query) -> Result<Block> {
+        self.scopes.push(HashMap::new());
+        let result = self.compile_block_inner(query);
+        self.scopes.pop();
+        result
+    }
+
+    fn compile_block_inner(&mut self, query: &Query) -> Result<Block> {
+        let mut block_vars = Vec::new();
+        for binding in &query.bindings {
+            let (doc, parent) = match &binding.path.root {
+                Root::Doc(d) => (Some(d.clone()), None),
+                Root::Var(v) => (None, Some(self.lookup(v, binding.path.span)?)),
+            };
+            let steps = pat_steps(&binding.path)?;
+            let idx = self.vars.len();
+            self.vars.push(VarNode {
+                name: binding.var.clone(),
+                doc,
+                parent,
+                steps,
+            });
+            self.scopes
+                .last_mut()
+                .expect("scope pushed")
+                .insert(binding.var.clone(), idx);
+            block_vars.push(idx);
         }
+
+        // Conditions: literal tests become filters, path = path becomes a
+        // join edge (or a same-variable pair test).
+        let mut raw_filters: Vec<(usize, FilterTest)> = Vec::new();
+        let mut raw_joins: Vec<(usize, usize)> = Vec::new();
+        for condition in &query.conditions {
+            match condition {
+                Condition::Exists(p) => {
+                    let (var, steps) = self.anchor(p, &mut block_vars)?;
+                    let r = self.add_ref(var, steps, RefKind::Exists);
+                    raw_filters.push((var, FilterTest::Exists(r)));
+                }
+                Condition::Eq(p, Operand::Literal(lit)) => {
+                    let (var, steps) = self.anchor(p, &mut block_vars)?;
+                    let r = self.add_ref(var, steps, RefKind::Values);
+                    raw_filters.push((var, FilterTest::Eq(r, lit.clone())));
+                }
+                Condition::Eq(left, Operand::Path(right)) => {
+                    let (lv, ls) = self.anchor(left, &mut block_vars)?;
+                    let (rv, rs) = self.anchor(right, &mut block_vars)?;
+                    let lr = self.add_ref(lv, ls, RefKind::Values);
+                    let rr = self.add_ref(rv, rs, RefKind::Values);
+                    if lv == rv {
+                        raw_filters.push((lv, FilterTest::PathPair(lr, rr)));
+                    } else {
+                        raw_joins.push((lr, rr));
+                    }
+                }
+            }
+        }
+
+        let output = self.compile_output(&query.ret, &mut block_vars)?;
+
+        // `ready_at` positions are computed only once every synthesized
+        // anchor variable has its final place in `block_vars`.
+        let position = |var: usize| block_vars.iter().position(|&v| v == var);
+        let filters = raw_filters
+            .into_iter()
+            .map(|(var, test)| Filter {
+                var,
+                ready_at: position(var),
+                test,
+            })
+            .collect();
+        let joins = raw_joins
+            .into_iter()
+            .map(|(left, right)| {
+                let lp = position(self.refs[left].var);
+                let rp = position(self.refs[right].var);
+                Join {
+                    left,
+                    right,
+                    ready_at: match (lp, rp) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (Some(a), None) => Some(a),
+                        (None, Some(b)) => Some(b),
+                        (None, None) => None,
+                    },
+                }
+            })
+            .collect();
+
+        Ok(Block {
+            vars: block_vars,
+            filters,
+            joins,
+            output,
+        })
+    }
+
+    fn compile_output(&mut self, ret: &ReturnExpr, block_vars: &mut Vec<usize>) -> Result<Output> {
+        match ret {
+            ReturnExpr::Path(p) => {
+                let var = match &p.root {
+                    Root::Var(v) => self.lookup(v, p.span)?,
+                    Root::Doc(_) => {
+                        return Err(EngineError::unsupported(
+                            "document-rooted return path (bind it to a variable first)",
+                            Some(p.span),
+                        ))
+                    }
+                };
+                if p.steps.is_empty() {
+                    return Err(EngineError::unsupported(
+                        "whole-element return (wrap it in an element constructor: \
+                         `return <r>{$x}</r>`)",
+                        Some(p.span),
+                    ));
+                }
+                let steps = pat_steps(p)?;
+                let r = self.add_ref(var, steps, RefKind::Values);
+                Ok(Output::Values(r))
+            }
+            ReturnExpr::Element(c) => Ok(Output::Document(self.compile_template(c, block_vars)?)),
+        }
+    }
+
+    fn compile_template(
+        &mut self,
+        c: &ElemConstructor,
+        block_vars: &mut Vec<usize>,
+    ) -> Result<Template> {
+        let mut content = Vec::new();
+        for item in &c.content {
+            match item {
+                Content::Path(p) => {
+                    if !p.is_desugared() {
+                        return Err(EngineError::unsupported(
+                            "qualifier in constructor content (filter in the `where` \
+                             clause instead)",
+                            Some(p.span),
+                        ));
+                    }
+                    let (var, steps) = self.anchor(p, block_vars)?;
+                    let r = self.add_ref(var, steps, RefKind::Copy);
+                    content.push(TplItem::Copy(r));
+                }
+                Content::Element(e) => {
+                    content.push(TplItem::Element(self.compile_template(e, block_vars)?));
+                }
+                Content::Query(q) => {
+                    content.push(TplItem::Block(self.compile_block(q)?));
+                }
+            }
+        }
+        Ok(Template {
+            tag: c.tag.clone(),
+            content,
+        })
+    }
+
+    /// Resolves a condition/content path to `(anchor variable, steps)`.
+    /// Document-rooted paths get a synthesized anchor variable whose one
+    /// occurrence is the document itself.
+    fn anchor(
+        &mut self,
+        p: &PathExpr,
+        block_vars: &mut Vec<usize>,
+    ) -> Result<(usize, Vec<PatStep>)> {
+        let steps = pat_steps(p)?;
+        match &p.root {
+            Root::Var(v) => Ok((self.lookup(v, p.span)?, steps)),
+            Root::Doc(d) => {
+                let idx = self.vars.len();
+                self.vars.push(VarNode {
+                    name: String::new(),
+                    doc: Some(d.clone()),
+                    parent: None,
+                    steps: Vec::new(),
+                });
+                block_vars.push(idx);
+                Ok((idx, steps))
+            }
+        }
+    }
+
+    fn add_ref(&mut self, var: usize, steps: Vec<PatStep>, kind: RefKind) -> usize {
+        if let Some(i) = self
+            .refs
+            .iter()
+            .position(|r| r.var == var && r.steps == steps && r.kind == kind)
+        {
+            return i;
+        }
+        self.refs.push(ValueRef { var, steps, kind });
+        self.refs.len() - 1
+    }
+
+    fn lookup(&self, name: &str, span: Span) -> Result<usize> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&idx) = scope.get(name) {
+                return Ok(idx);
+            }
+        }
+        Err(EngineError::unsupported(
+            format!("unbound variable `${name}`"),
+            Some(span),
+        ))
     }
 }
 
-/// The path's steps as plain child tags, or `Unsupported`.
-fn simple_tags(path: &PathExpr) -> Result<Vec<String>> {
-    path.simple_tags()
-        .map(|tags| tags.into_iter().map(str::to_string).collect())
-        .ok_or_else(|| {
-            EngineError::Unsupported(format!(
-                "only plain child steps are implemented yet (in `{path}`)"
-            ))
+/// Converts a (qualifier-free) path's steps into pattern steps.
+fn pat_steps(path: &PathExpr) -> Result<Vec<PatStep>> {
+    debug_assert!(path.is_desugared() || matches!(path.root, Root::Var(_) | Root::Doc(_)));
+    if path.steps.len() > 63 {
+        return Err(EngineError::unsupported(
+            "path pattern with more than 63 steps",
+            Some(path.span),
+        ));
+    }
+    Ok(path
+        .steps
+        .iter()
+        .map(|s| PatStep {
+            descend: matches!(s.axis, Axis::DescendantOrSelf),
+            test: match &s.test {
+                NameTest::Name(n) => PatTest::Name(n.clone()),
+                NameTest::Any => PatTest::Any,
+            },
         })
+        .collect())
 }
 
 #[cfg(test)]
@@ -203,99 +434,114 @@ mod tests {
     use super::*;
     use vx_xquery::parse_query;
 
+    fn graph(src: &str) -> QueryGraph {
+        compile(&parse_query(src).unwrap()).unwrap()
+    }
+
     #[test]
     fn compiles_selection_projection() {
-        let q = parse_query(
+        let g = graph(
             r#"for $x in doc("ml")/Set/Citation
                where $x/Language = "ENG" and exists($x/Article)
                return $x/PMID"#,
-        )
-        .unwrap();
-        let g = compile(&q).unwrap();
-        assert_eq!(g.doc, "ml");
-        assert_eq!(g.target, vec!["Set", "Citation"]);
-        assert_eq!(g.ret_rel, vec!["PMID"]);
-        assert_eq!(
-            g.filters,
-            vec![
-                Filter {
-                    anchor: 2,
-                    rel: vec!["Language".into()],
-                    test: Test::Eq("ENG".into()),
-                },
-                Filter {
-                    anchor: 2,
-                    rel: vec!["Article".into()],
-                    test: Test::Exists,
-                },
-            ]
         );
+        assert_eq!(g.vars.len(), 1);
+        assert_eq!(g.vars[0].doc.as_deref(), Some("ml"));
+        assert_eq!(g.vars[0].steps.len(), 2);
+        assert_eq!(g.block.filters.len(), 2);
+        assert!(matches!(g.block.output, Output::Values(_)));
     }
 
     #[test]
-    fn qualifier_anchors_on_ancestor() {
-        let q = parse_query(r#"for $x in doc("d")/a/b[c = "1"]/d return $x/e"#).unwrap();
-        let g = compile(&q).unwrap();
-        assert_eq!(g.target, vec!["a", "b", "d"]);
-        assert_eq!(
-            g.filters,
-            vec![Filter {
-                anchor: 2,
-                rel: vec!["c".into()],
-                test: Test::Eq("1".into()),
-            }]
-        );
+    fn wildcards_and_descendants_compile() {
+        let g = graph(r#"for $x in doc("d")/a//b, $y in $x/* return $y/c"#);
+        assert!(g.vars[0].steps[1].descend);
+        assert_eq!(g.vars[1].steps[0].test, PatTest::Any);
+        assert_eq!(g.vars[1].parent, Some(0));
     }
 
     #[test]
-    fn off_chain_binding_becomes_existential() {
-        let q = parse_query(
-            r#"for $x in doc("d")/a/b, $y in $x/f
-               where $y/g = "1"
-               return $x/e"#,
-        )
-        .unwrap();
-        let g = compile(&q).unwrap();
-        assert_eq!(g.target, vec!["a", "b"]);
-        assert_eq!(
-            g.filters,
-            vec![
-                Filter {
-                    anchor: 2,
-                    rel: vec!["f".into(), "g".into()],
-                    test: Test::Eq("1".into()),
-                },
-                Filter {
-                    anchor: 2,
-                    rel: vec!["f".into()],
-                    test: Test::Exists,
-                },
-            ]
+    fn path_equality_becomes_a_join_edge() {
+        let g = graph(
+            r#"for $x in doc("a")/r/e, $y in doc("b")/s/f
+               where $x/k = $y/k
+               return $x/v"#,
         );
+        assert_eq!(g.block.joins.len(), 1);
+        let join = &g.block.joins[0];
+        assert_eq!(g.refs[join.left].var, 0);
+        assert_eq!(g.refs[join.right].var, 1);
+        // Checked once both sides are bound: at the later variable.
+        assert_eq!(join.ready_at, Some(1));
+        assert_eq!(g.doc_names(), vec!["a", "b"]);
     }
 
     #[test]
-    fn rejects_unsupported_shapes() {
+    fn same_variable_equality_is_a_pair_filter() {
+        let g = graph(r#"for $x in doc("d")/r/e where $x/a = $x/b return $x/v"#);
+        assert!(g.block.joins.is_empty());
+        assert!(matches!(
+            g.block.filters[0].test,
+            FilterTest::PathPair(_, _)
+        ));
+    }
+
+    #[test]
+    fn document_rooted_condition_synthesizes_an_anchor() {
+        let g = graph(
+            r#"for $x in doc("d")/r/e
+               where doc("d")/r/meta/version = "2"
+               return $x/v"#,
+        );
+        assert_eq!(g.vars.len(), 2);
+        assert_eq!(g.vars[1].name, "");
+        assert!(g.vars[1].steps.is_empty());
+        assert_eq!(g.block.vars, vec![0, 1]);
+    }
+
+    #[test]
+    fn constructors_compile_to_templates() {
+        let g = graph(
+            r#"for $x in doc("d")/r/e
+               return <r>{$x/a}<w>{for $z in $x/c return $z/t}</w></r>"#,
+        );
+        let tpl = match &g.block.output {
+            Output::Document(t) => t,
+            other => panic!("expected template, got {other:?}"),
+        };
+        assert_eq!(tpl.tag, "r");
+        assert!(matches!(tpl.content[0], TplItem::Copy(_)));
+        match &tpl.content[1] {
+            TplItem::Element(w) => assert!(matches!(w.content[0], TplItem::Block(_))),
+            other => panic!("expected nested element, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_fragment_shapes_with_structured_errors() {
         for (src, needle) in [
-            (r#"for $x in doc("d")/a//b return $x/c"#, "child steps"),
-            (r#"for $x in doc("d")/a/* return $x/c"#, "child steps"),
-            (r#"for $x in doc("d")/a return $x"#, "whole-element"),
-            (
-                r#"for $x in doc("d")/a, $y in doc("d")/b where $x/c = $y/c return $x/e"#,
-                "joins",
-            ),
+            (r#"for $x in doc("d")/a return $x"#, "whole-element return"),
             (
                 r#"for $x in doc("d")/a return doc("d")/b"#,
-                "bound variable",
+                "document-rooted return",
+            ),
+            (
+                r#"for $x in doc("d")/a return <r>{$x/b[c]}</r>"#,
+                "qualifier in constructor content",
+            ),
+            (
+                r#"for $x in doc("d")/a where $y/b = "1" return $x/c"#,
+                "unbound variable",
             ),
         ] {
             let q = parse_query(src).unwrap();
             match compile(&q) {
-                Err(EngineError::Unsupported(m)) => {
+                Err(EngineError::Unsupported { construct, span }) => {
                     assert!(
-                        m.contains(needle),
-                        "{src}: message {m:?} missing {needle:?}"
-                    )
+                        construct.contains(needle),
+                        "{src}: construct {construct:?} missing {needle:?}"
+                    );
+                    assert!(span.is_some(), "{src}: expected a span");
                 }
                 other => panic!("{src}: expected Unsupported, got {other:?}"),
             }

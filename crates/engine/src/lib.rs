@@ -1,39 +1,51 @@
 //! `vx-engine` — query evaluation over vectorized documents (DESIGN.md
 //! row 6).
 //!
-//! The paper evaluates XQ by compiling a query into a *query graph* and
-//! reducing it against `VEC(T)` with vector operations, never rebuilding
-//! the document. This crate implements the minimal slice of that plan:
+//! The paper evaluates XQ[*,//] by compiling a query into a *query graph*
+//! and reducing it against `VEC(T)` with vector operations, never
+//! rebuilding the document:
 //!
 //! * [`compile`] turns a (desugared) [`vx_xquery::Query`] into a
-//!   [`QueryGraph`]: one target element path, a relative projection path,
-//!   and a set of existential/equality filters anchored on ancestors of
-//!   the target.
-//! * [`reduce`] evaluates the graph against a [`vx_core::VecDoc`] using
-//!   skeleton path counts only: occurrence ranges are prefix sums over
-//!   per-binding text counts (document order makes every binding's values
-//!   a contiguous vector slice), so selection and projection touch just
-//!   the vectors named by the query.
-//! * [`naive_eval`] is the differential oracle: reconstruct the document
-//!   and walk the DOM. `reduce` and `naive_eval` must agree on every
-//!   supported query; the engine tests enforce this.
+//!   [`QueryGraph`]: a DAG of variable nodes rooted at documents or other
+//!   variables through step patterns (with `*` and `//`), value
+//!   references, literal selection filters, equality join edges, and an
+//!   output — a projected value sequence or a result-skeleton template.
+//! * [`reduce`] evaluates the graph against named [`vx_core::VecDoc`]s in
+//!   one skeleton pass per document: patterns run as NFAs over the
+//!   hash-consed skeleton, per-occurrence value ranges come from the
+//!   per-path cursors (document order makes them contiguous), selections
+//!   mark occurrences before joins hash-probe them, and element
+//!   construction streams into a [`vx_core::VecDocBuilder`] — the result
+//!   of a constructor query is itself a `VEC(T)`, never a DOM.
+//! * [`naive_eval`] is the differential oracle: an independent
+//!   nested-loop evaluator over the reconstructed DOM. `reduce` and
+//!   `naive_eval` must agree on every supported query; the engine tests
+//!   enforce this.
 //!
-//! Anything outside the supported fragment — wildcards, `//`, joins,
-//! returning whole elements, cross-product bindings — fails with
-//! [`EngineError::Unsupported`] rather than silently approximating.
-//! Later PRs widen the fragment (see ROADMAP.md).
+//! The ergonomic entry point is [`Query`]: parse and compile once, run
+//! against many documents, and get a [`QueryOutput`] that is either raw
+//! byte values or a vectorized result document.
+//!
+//! Anything outside the fragment — qualifiers inside constructor content,
+//! whole-element bare returns, document-rooted bare returns — fails with
+//! a structured [`EngineError::Unsupported`] naming the construct and its
+//! source span rather than silently approximating.
 
 mod graph;
 mod oracle;
 mod reduce;
 
-pub use graph::{compile, Filter, QueryGraph, Test};
-pub use oracle::naive_eval;
+pub use graph::{
+    compile, Block, Filter, FilterTest, Join, Output, PatStep, PatTest, QueryGraph, RefKind,
+    Template, TplItem, ValueRef, VarNode,
+};
+pub use oracle::{naive_eval, NaiveOutput};
 pub use reduce::reduce;
 
 use std::fmt;
-use vx_core::{CoreError, VecDoc};
-use vx_xquery::XqError;
+use vx_core::{reconstruct, CoreError, VecDoc};
+use vx_xml::{write_document, Element, Node, WriteOptions};
+use vx_xquery::{Span, XqError};
 
 /// Engine errors.
 #[derive(Debug)]
@@ -42,10 +54,27 @@ pub enum EngineError {
     Xq(XqError),
     /// Failure from the core layer (reconstruction, store access).
     Core(CoreError),
-    /// The query is valid XQ but outside the fragment this engine evaluates.
-    Unsupported(String),
+    /// The query is valid XQ but outside the fragment this engine
+    /// evaluates. `construct` names the offending construct; `span` is
+    /// its byte range in the query source, when known.
+    Unsupported {
+        construct: String,
+        span: Option<Span>,
+    },
+    /// The query mentions `doc("…")` for a name the caller did not
+    /// provide.
+    UnknownDocument(String),
     /// The vectorized document is internally inconsistent.
     Corrupt(String),
+}
+
+impl EngineError {
+    pub(crate) fn unsupported(construct: impl Into<String>, span: Option<Span>) -> Self {
+        EngineError::Unsupported {
+            construct: construct.into(),
+            span,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -53,7 +82,16 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Xq(e) => write!(f, "{e}"),
             EngineError::Core(e) => write!(f, "{e}"),
-            EngineError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            EngineError::Unsupported { construct, span } => {
+                write!(f, "unsupported query construct: {construct}")?;
+                if let Some(span) = span {
+                    write!(f, " (at bytes {}..{})", span.start, span.end)?;
+                }
+                Ok(())
+            }
+            EngineError::UnknownDocument(name) => {
+                write!(f, "query references unknown document doc(\"{name}\")")
+            }
             EngineError::Corrupt(m) => write!(f, "corrupt vectorized document: {m}"),
         }
     }
@@ -84,14 +122,139 @@ impl From<CoreError> for EngineError {
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;
 
-/// Convenience entry point: parse, desugar, compile, and reduce `query`
-/// against `doc`, returning result values as (lossy) strings.
+/// A compiled query: parse and compile once, run many times.
+///
+/// ```
+/// use vx_engine::{Query, QueryOutput};
+/// let xml = "<lib><book><t>A</t></book><book><t>B</t></book></lib>";
+/// let doc = vx_core::vectorize(&vx_xml::parse(xml).unwrap()).unwrap();
+/// let q = Query::new(r#"for $b in doc("lib")//book return $b/t"#).unwrap();
+/// let out = q.run(&doc).unwrap();
+/// assert_eq!(out.strings(), vec!["A", "B"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    source: String,
+    graph: QueryGraph,
+}
+
+impl Query {
+    /// Parses, desugars, and compiles `source`.
+    pub fn new(source: &str) -> Result<Query> {
+        let parsed = vx_xquery::parse_query(source)?;
+        let graph = compile(&parsed)?;
+        Ok(Query {
+            source: source.to_string(),
+            graph,
+        })
+    }
+
+    /// The original query text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The compiled query graph.
+    pub fn graph(&self) -> &QueryGraph {
+        &self.graph
+    }
+
+    /// Runs against a single document: every `doc("…")` name in the query
+    /// resolves to `doc`.
+    pub fn run(&self, doc: &VecDoc) -> Result<QueryOutput> {
+        let docs: Vec<(&str, &VecDoc)> = self
+            .graph
+            .doc_names()
+            .into_iter()
+            .map(|name| (name, doc))
+            .collect();
+        reduce(&self.graph, &docs)
+    }
+
+    /// Runs against a named corpus; each `doc("name")` resolves through
+    /// the slice. Unknown names fail with
+    /// [`EngineError::UnknownDocument`].
+    pub fn run_corpus(&self, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
+        reduce(&self.graph, docs)
+    }
+}
+
+/// The result of running a [`Query`].
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// `return $x/p` — the projected text values, as raw bytes (XML text
+    /// is not guaranteed to be meaningful UTF-8 after vectorization;
+    /// decoding is an explicit opt-in via [`QueryOutput::strings`]).
+    Values(Vec<Vec<u8>>),
+    /// `return <r>…</r>` — a *vectorized* result document: the
+    /// constructed elements under a synthetic `<results>` root, built
+    /// skeleton-and-vectors first (never a DOM).
+    Document(VecDoc),
+}
+
+impl QueryOutput {
+    /// The output's text values, lossily decoded to `String`s. For
+    /// `Values` these are the projected values; for `Document`, every
+    /// text value of the constructed document in document order
+    /// (attribute values first within each element, matching
+    /// vectorization order).
+    pub fn strings(&self) -> Vec<String> {
+        match self {
+            QueryOutput::Values(values) => values
+                .iter()
+                .map(|v| String::from_utf8_lossy(v).into_owned())
+                .collect(),
+            QueryOutput::Document(doc) => match reconstruct(doc) {
+                Ok(dom) => {
+                    let mut out = Vec::new();
+                    collect_texts(&dom.root, &mut out);
+                    out
+                }
+                Err(_) => Vec::new(),
+            },
+        }
+    }
+
+    /// Serializes the output as compact XML. A `Document` reconstructs
+    /// and writes its root; `Values` are wrapped as
+    /// `<results><value>…</value></results>` (lossily decoded).
+    pub fn to_xml(&self) -> Result<String> {
+        let opts = WriteOptions::compact();
+        match self {
+            QueryOutput::Document(doc) => Ok(write_document(&reconstruct(doc)?, &opts)),
+            QueryOutput::Values(values) => {
+                let mut root = Element::new("results");
+                for v in values {
+                    root.children.push(Node::Element(
+                        Element::new("value").with_text(String::from_utf8_lossy(v).into_owned()),
+                    ));
+                }
+                Ok(write_document(&vx_xml::Document::from_root(root), &opts))
+            }
+        }
+    }
+}
+
+fn collect_texts(element: &Element, out: &mut Vec<String>) {
+    for (_, value) in &element.attributes {
+        out.push(value.clone());
+    }
+    for child in &element.children {
+        match child {
+            Node::Element(e) => collect_texts(e, out),
+            Node::Text(t) | Node::CData(t) => out.push(t.clone()),
+            _ => {}
+        }
+    }
+}
+
+/// Parses, compiles, and runs `query` against `doc`, returning values as
+/// lossy strings.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::new(query)?.run(doc)` and `QueryOutput::strings()`; \
+            this shim flattens document outputs to their text values"
+)]
 pub fn run(doc: &VecDoc, query: &str) -> Result<Vec<String>> {
-    let parsed = vx_xquery::parse_query(query)?;
-    let graph = compile(&parsed)?;
-    let values = reduce(doc, &graph)?;
-    Ok(values
-        .into_iter()
-        .map(|v| String::from_utf8_lossy(&v).into_owned())
-        .collect())
+    Ok(Query::new(query)?.run(doc)?.strings())
 }

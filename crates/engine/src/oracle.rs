@@ -1,247 +1,326 @@
-//! Naive decompress-evaluate oracle.
+//! The differential oracle: naive nested-loop XQ[*,//] evaluation over a
+//! DOM.
 //!
-//! Evaluates a [`QueryGraph`] by rebuilding the document with
-//! [`vx_core::reconstruct`] and walking the DOM — the slow baseline the
-//! paper's reduce must match. Shared semantics with [`crate::reduce`]:
-//! a target occurrence survives a filter iff its ancestor at the filter's
-//! anchor depth satisfies the test existentially; attribute steps are
-//! `@name` components; `Eq` compares individual text-node values.
+//! [`naive_eval`] shares nothing with [`crate::reduce`] beyond the
+//! desugared AST: it walks [`vx_xml`] trees with per-step node-set
+//! expansion, nested `for` loops in binding order, and plain conjunctive
+//! condition checks per tuple. Every engine test asserts
+//! `reduce == naive_eval` — value outputs compare byte-for-byte, and
+//! constructed documents compare by serialized XML (the engine's
+//! vectorized result is reconstructed first).
+//!
+//! Attributes take part exactly as they do in vectorized form: each
+//! attribute is a pseudo-child named `@name` holding one text value, `*`
+//! never matches pseudo-children, and copying one into a constructor
+//! attaches it to the constructed element as an attribute.
 
-use crate::graph::{QueryGraph, Test};
-use crate::Result;
-use vx_core::VecDoc;
+use crate::{EngineError, Result};
+use std::collections::HashSet;
 use vx_xml::{Document, Element, Node};
+use vx_xquery::{
+    desugar, Axis, Condition, Content, ElemConstructor, NameTest, Operand, PathExpr, Query,
+    ReturnExpr, Root, Step,
+};
 
-/// Evaluates `graph` the slow way: reconstruct then walk.
-pub fn naive_eval(doc: &VecDoc, graph: &QueryGraph) -> Result<Vec<Vec<u8>>> {
-    if doc.root.is_none() {
-        return Ok(Vec::new());
-    }
-    let document = vx_core::reconstruct(doc)?;
-    Ok(eval_dom(&document, graph))
+/// What a naive evaluation produced: mirror of [`crate::QueryOutput`],
+/// but DOM-shaped.
+#[derive(Debug, Clone)]
+pub enum NaiveOutput {
+    Values(Vec<Vec<u8>>),
+    /// The constructed elements under the same synthetic `<results>`
+    /// root the engine emits.
+    Document(Document),
 }
 
-fn eval_dom(document: &Document, graph: &QueryGraph) -> Vec<Vec<u8>> {
-    // Document-level filters first: all-or-nothing.
-    for filter in graph.filters.iter().filter(|f| f.anchor == 0) {
-        let holds = match &filter.test {
-            Test::Exists => !path_elements(&document.root, &filter.rel).is_empty(),
-            Test::Eq(lit) => texts_along(&document.root, &filter.rel)
+/// Evaluates `query` against named DOM documents by brute force.
+pub fn naive_eval(query: &Query, docs: &[(&str, &Document)]) -> Result<NaiveOutput> {
+    let query = desugar(query);
+    match &query.ret {
+        ReturnExpr::Path(_) => {
+            let mut out = Vec::new();
+            let mut env = Vec::new();
+            eval_query(&query, docs, &mut env, &mut NaiveSink::Values(&mut out))?;
+            Ok(NaiveOutput::Values(out))
+        }
+        ReturnExpr::Element(_) => {
+            let mut results = Element::new("results");
+            let mut env = Vec::new();
+            eval_query(&query, docs, &mut env, &mut NaiveSink::Elem(&mut results))?;
+            Ok(NaiveOutput::Document(Document::from_root(results)))
+        }
+    }
+}
+
+/// A node the path language can visit: the virtual document node (whose
+/// only child is the root element), an element, or an attribute
+/// pseudo-node. Identity (for per-start dedup) is pointer identity.
+#[derive(Clone, Copy)]
+enum NodeRef<'a> {
+    Doc(&'a Element),
+    Elem(&'a Element),
+    Attr(&'a (String, String)),
+}
+
+impl<'a> NodeRef<'a> {
+    fn identity(self) -> usize {
+        match self {
+            // Distinguish Doc(root) from Elem(root): offset by 1 (the
+            // pointee is larger than a byte, so this cannot collide).
+            NodeRef::Doc(e) => (e as *const Element as usize) + 1,
+            NodeRef::Elem(e) => e as *const Element as usize,
+            NodeRef::Attr(a) => a as *const (String, String) as usize,
+        }
+    }
+
+    /// Children in document order: attributes (as pseudo-children)
+    /// first, then child elements — mirroring vectorization order.
+    fn children(self) -> Vec<NodeRef<'a>> {
+        match self {
+            NodeRef::Doc(root) => vec![NodeRef::Elem(root)],
+            NodeRef::Attr(_) => Vec::new(),
+            NodeRef::Elem(e) => {
+                let mut out: Vec<NodeRef<'a>> = e.attributes.iter().map(NodeRef::Attr).collect();
+                out.extend(e.child_elements().map(NodeRef::Elem));
+                out
+            }
+        }
+    }
+
+    fn matches(self, test: &NameTest) -> bool {
+        match self {
+            NodeRef::Doc(_) => false,
+            NodeRef::Elem(e) => match test {
+                NameTest::Name(t) => t == &e.name,
+                NameTest::Any => !e.name.starts_with('@'),
+            },
+            NodeRef::Attr((n, _)) => match test {
+                NameTest::Name(t) => t.strip_prefix('@') == Some(n.as_str()),
+                NameTest::Any => false,
+            },
+        }
+    }
+
+    /// The node's directly contained text values, in order.
+    fn texts(self) -> Vec<Vec<u8>> {
+        match self {
+            NodeRef::Doc(_) => Vec::new(),
+            NodeRef::Attr((_, v)) => vec![v.clone().into_bytes()],
+            NodeRef::Elem(e) => e
+                .children
                 .iter()
-                .any(|t| t == lit),
-        };
-        if !holds {
-            return Vec::new();
+                .filter_map(|c| match c {
+                    Node::Text(t) | Node::CData(t) => Some(t.clone().into_bytes()),
+                    _ => None,
+                })
+                .collect(),
         }
     }
 
-    // Enumerate target occurrences with their ancestor chains.
-    let mut out = Vec::new();
-    let mut chain: Vec<&Element> = Vec::new();
-    walk_targets(&document.root, &graph.target, &mut chain, &mut |chain| {
-        let keep = graph.filters.iter().filter(|f| f.anchor > 0).all(|f| {
-            let anchor = chain[f.anchor - 1];
-            match &f.test {
-                Test::Exists => !path_elements_rel(anchor, &f.rel).is_empty(),
-                Test::Eq(lit) => texts_rel(anchor, &f.rel).iter().any(|t| t == lit),
-            }
-        });
-        if keep {
-            let target = chain.last().expect("chain holds the target");
-            out.extend(
-                texts_rel(target, &graph.ret_rel)
-                    .into_iter()
-                    .map(String::into_bytes),
-            );
+    fn descendants_preorder(self, out: &mut Vec<NodeRef<'a>>) {
+        for child in self.children() {
+            out.push(child);
+            child.descendants_preorder(out);
         }
-    });
-    out
+    }
 }
 
-/// Depth-first walk of all occurrences of the absolute path, calling `f`
-/// with the full ancestor chain (depth 1 ... target) for each occurrence.
-fn walk_targets<'a>(
-    root: &'a Element,
-    path: &[String],
-    chain: &mut Vec<&'a Element>,
-    f: &mut impl FnMut(&[&'a Element]),
-) {
-    let (first, rest) = match path.split_first() {
-        Some(p) => p,
-        None => return,
-    };
-    if &root.name != first {
-        return;
-    }
-    chain.push(root);
-    if rest.is_empty() {
-        f(chain);
-    } else {
-        go(root, rest, chain, f);
-    }
-    chain.pop();
-
-    fn go<'a>(
-        elem: &'a Element,
-        rest: &[String],
-        chain: &mut Vec<&'a Element>,
-        f: &mut impl FnMut(&[&'a Element]),
-    ) {
-        let (next, tail) = rest.split_first().expect("rest non-empty");
-        for child in elem.child_elements() {
-            if &child.name == next {
-                chain.push(child);
-                if tail.is_empty() {
-                    f(chain);
-                } else {
-                    go(child, tail, chain, f);
+/// Expands `steps` from a single start node; results are in document
+/// preorder, deduplicated (a node reachable along two step derivations
+/// counts once, like one NFA machine accepting once per element).
+fn match_steps<'a>(start: NodeRef<'a>, steps: &[Step]) -> Vec<NodeRef<'a>> {
+    let mut current = vec![start];
+    for step in steps {
+        let mut next = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        for node in &current {
+            let pool: Vec<NodeRef<'a>> = match step.axis {
+                Axis::Child => node.children(),
+                Axis::DescendantOrSelf => {
+                    let mut all = Vec::new();
+                    node.descendants_preorder(&mut all);
+                    all
                 }
-                chain.pop();
-            }
-        }
-    }
-}
-
-/// Elements at the absolute path (root tag first).
-fn path_elements<'a>(root: &'a Element, path: &[String]) -> Vec<&'a Element> {
-    match path.split_first() {
-        None => Vec::new(),
-        Some((first, rest)) if &root.name == first => {
-            if rest.is_empty() {
-                vec![root]
-            } else {
-                path_elements_rel(root, rest)
-            }
-        }
-        _ => Vec::new(),
-    }
-}
-
-/// Elements at the relative path below `elem`. A trailing `@name`
-/// component matches iff the attribute exists, standing in for the
-/// synthetic attribute element of the vectorized encoding.
-fn path_elements_rel<'a>(elem: &'a Element, rel: &[String]) -> Vec<&'a Element> {
-    match rel.split_first() {
-        None => vec![elem],
-        Some((step, rest)) => {
-            if let Some(attr) = step.strip_prefix('@') {
-                // Attribute steps terminate; the element "exists" iff the
-                // attribute does.
-                if rest.is_empty() && elem.attr(attr).is_some() {
-                    return vec![elem];
-                }
-                return Vec::new();
-            }
-            let mut out = Vec::new();
-            for child in elem.child_elements() {
-                if child.name == *step {
-                    out.extend(path_elements_rel(child, rest));
+            };
+            for candidate in pool {
+                if candidate.matches(&step.test) && seen.insert(candidate.identity()) {
+                    next.push(candidate);
                 }
             }
-            out
         }
+        current = next;
     }
+    current
 }
 
-/// Text values at the absolute path.
-fn texts_along(root: &Element, path: &[String]) -> Vec<String> {
-    match path.split_first() {
-        Some((first, rest)) if &root.name == first => texts_rel(root, rest),
-        _ => Vec::new(),
-    }
-}
+type Env<'a> = Vec<(String, NodeRef<'a>)>;
 
-/// Individual text values at the relative path below `elem`, in document
-/// order: text/CDATA node values of the addressed elements, or the value
-/// of a trailing `@name` attribute.
-fn texts_rel(elem: &Element, rel: &[String]) -> Vec<String> {
-    match rel.split_first() {
-        None => elem
-            .children
+fn resolve_path<'a>(
+    path: &PathExpr,
+    docs: &[(&str, &'a Document)],
+    env: &Env<'a>,
+) -> Result<Vec<NodeRef<'a>>> {
+    debug_assert!(path.is_desugared(), "oracle runs on desugared paths");
+    let start = match &path.root {
+        Root::Var(name) => env
             .iter()
-            .filter_map(|n| match n {
-                Node::Text(t) | Node::CData(t) => Some(t.clone()),
-                _ => None,
-            })
-            .collect(),
-        Some((step, rest)) => {
-            if let Some(attr) = step.strip_prefix('@') {
-                if rest.is_empty() {
-                    return elem.attr(attr).map(str::to_string).into_iter().collect();
-                }
-                return Vec::new();
-            }
-            let mut out = Vec::new();
-            for child in elem.child_elements() {
-                if child.name == *step {
-                    out.extend(texts_rel(child, rest));
-                }
-            }
-            out
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, node)| *node)
+            .ok_or_else(|| {
+                EngineError::unsupported(format!("unbound variable `${name}`"), Some(path.span))
+            })?,
+        Root::Doc(name) => {
+            let doc = docs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, d)| *d)
+                .ok_or_else(|| EngineError::UnknownDocument(name.clone()))?;
+            NodeRef::Doc(&doc.root)
+        }
+    };
+    Ok(match_steps(start, &path.steps))
+}
+
+fn path_values<'a>(
+    path: &PathExpr,
+    docs: &[(&str, &'a Document)],
+    env: &Env<'a>,
+) -> Result<Vec<Vec<u8>>> {
+    Ok(resolve_path(path, docs, env)?
+        .into_iter()
+        .flat_map(|n| n.texts())
+        .collect())
+}
+
+fn condition_holds<'a>(
+    condition: &Condition,
+    docs: &[(&str, &'a Document)],
+    env: &Env<'a>,
+) -> Result<bool> {
+    match condition {
+        Condition::Exists(p) => Ok(!resolve_path(p, docs, env)?.is_empty()),
+        Condition::Eq(p, Operand::Literal(lit)) => Ok(path_values(p, docs, env)?
+            .iter()
+            .any(|v| v == lit.as_bytes())),
+        Condition::Eq(left, Operand::Path(right)) => {
+            let lvals: HashSet<Vec<u8>> = path_values(left, docs, env)?.into_iter().collect();
+            Ok(path_values(right, docs, env)?
+                .iter()
+                .any(|v| lvals.contains(v)))
         }
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::graph::compile;
-    use crate::reduce::reduce;
-    use vx_core::vectorize;
-    use vx_xquery::parse_query;
+enum NaiveSink<'x> {
+    Values(&'x mut Vec<Vec<u8>>),
+    /// Emission appends to this element's children (and attributes, for
+    /// copied attribute nodes).
+    Elem(&'x mut Element),
+}
 
-    /// The differential contract: reduce over VEC(T) must agree with the
-    /// naive decompress-evaluate oracle on every supported query.
-    #[test]
-    fn reduce_matches_oracle() {
-        let xml = r#"<site>
-            <people>
-                <person id="p1"><name>ann</name><city>oslo</city><card/></person>
-                <person id="p2"><name>bob</name><city>lima</city></person>
-                <person id="p3"><name>cat</name><city>oslo</city><card/><card/></person>
-            </people>
-            <people>
-                <person id="p4"><name>dan</name><city>kiev</city></person>
-            </people>
-            <meta><version>2</version></meta>
-        </site>"#;
-        let document = vx_xml::parse(xml).unwrap();
-        let doc = vectorize(&document).unwrap();
+fn eval_query<'a>(
+    query: &Query,
+    docs: &[(&str, &'a Document)],
+    env: &mut Env<'a>,
+    sink: &mut NaiveSink<'_>,
+) -> Result<()> {
+    bind(query, 0, docs, env, sink)
+}
 
-        let queries = [
-            r#"for $p in doc("s")/site/people/person return $p/name"#,
-            r#"for $p in doc("s")/site/people/person where $p/city = "oslo" return $p/name"#,
-            r#"for $p in doc("s")/site/people/person where exists($p/card) return $p/name"#,
-            r#"for $p in doc("s")/site/people/person[city = "kiev"] return $p/@id"#,
-            r#"for $p in doc("s")/site/people/person
-               where $p/city = "oslo" and exists($p/card)
-               return $p/@id"#,
-            r#"for $g in doc("s")/site/people, $p in $g/person
-               where $g/person/city = "kiev"
-               return $p/name"#,
-            r#"for $p in doc("s")/site/people/person
-               where doc("s")/site/meta/version = "2" and $p/city = "lima"
-               return $p/name"#,
-            r#"for $p in doc("s")/site/people/person where $p/city = "nowhere" return $p/name"#,
-            r#"for $p in doc("s")/site/absent/person return $p/name"#,
-        ];
-        for query in queries {
-            let graph = compile(&parse_query(query).unwrap()).unwrap();
-            let fast = reduce(&doc, &graph).unwrap();
-            let slow = naive_eval(&doc, &graph).unwrap();
-            assert_eq!(fast, slow, "reduce and oracle disagree on {query}");
+fn bind<'a>(
+    query: &Query,
+    depth: usize,
+    docs: &[(&str, &'a Document)],
+    env: &mut Env<'a>,
+    sink: &mut NaiveSink<'_>,
+) -> Result<()> {
+    match query.bindings.get(depth) {
+        Some(binding) => {
+            for node in resolve_path(&binding.path, docs, env)? {
+                env.push((binding.var.clone(), node));
+                bind(query, depth + 1, docs, env, sink)?;
+                env.pop();
+            }
+            Ok(())
+        }
+        None => {
+            for condition in &query.conditions {
+                if !condition_holds(condition, docs, env)? {
+                    return Ok(());
+                }
+            }
+            emit(&query.ret, docs, env, sink)
         }
     }
+}
 
-    #[test]
-    fn oracle_respects_filters() {
-        let xml = r#"<r><a><b>1</b><k>yes</k></a><a><b>2</b></a></r>"#;
-        let doc = vectorize(&vx_xml::parse(xml).unwrap()).unwrap();
-        let graph = compile(
-            &parse_query(r#"for $a in doc("d")/r/a where exists($a/k) return $a/b"#).unwrap(),
-        )
-        .unwrap();
-        let values = naive_eval(&doc, &graph).unwrap();
-        assert_eq!(values, vec![b"1".to_vec()]);
+fn emit<'a>(
+    ret: &ReturnExpr,
+    docs: &[(&str, &'a Document)],
+    env: &mut Env<'a>,
+    sink: &mut NaiveSink<'_>,
+) -> Result<()> {
+    match ret {
+        ReturnExpr::Path(p) => {
+            for value in path_values(p, docs, env)? {
+                match sink {
+                    NaiveSink::Values(out) => out.push(value),
+                    NaiveSink::Elem(el) => el
+                        .children
+                        .push(Node::Text(String::from_utf8_lossy(&value).into_owned())),
+                }
+            }
+            Ok(())
+        }
+        ReturnExpr::Element(c) => {
+            let rendered = render(c, docs, env)?;
+            match sink {
+                NaiveSink::Elem(el) => {
+                    el.children.push(Node::Element(rendered));
+                    Ok(())
+                }
+                NaiveSink::Values(_) => Err(EngineError::Corrupt(
+                    "constructor output into a value sink".into(),
+                )),
+            }
+        }
     }
+}
+
+fn render<'a>(
+    c: &ElemConstructor,
+    docs: &[(&str, &'a Document)],
+    env: &mut Env<'a>,
+) -> Result<Element> {
+    let mut el = Element::new(c.tag.clone());
+    for item in &c.content {
+        match item {
+            Content::Path(p) => {
+                if !p.is_desugared() {
+                    return Err(EngineError::unsupported(
+                        "qualifier in constructor content (filter in the `where` \
+                         clause instead)",
+                        Some(p.span),
+                    ));
+                }
+                for node in resolve_path(p, docs, env)? {
+                    match node {
+                        NodeRef::Elem(e) => el.children.push(Node::Element(e.clone())),
+                        NodeRef::Doc(root) => el.children.push(Node::Element(root.clone())),
+                        NodeRef::Attr((name, value)) => {
+                            el.attributes.push((name.clone(), value.clone()))
+                        }
+                    }
+                }
+            }
+            Content::Element(inner) => {
+                let rendered = render(inner, docs, env)?;
+                el.children.push(Node::Element(rendered));
+            }
+            Content::Query(q) => {
+                eval_query(q, docs, env, &mut NaiveSink::Elem(&mut el))?;
+            }
+        }
+    }
+    Ok(el)
 }

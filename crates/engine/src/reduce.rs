@@ -1,344 +1,855 @@
-//! Graph reduction over `VEC(T)`.
+//! Vectorized evaluation of a [`QueryGraph`] — the paper's `reduce`.
 //!
-//! Evaluation never rebuilds the document. All structural questions are
-//! answered on the skeleton (occurrence counts, per-binding counts), and
-//! all value questions on the vectors the query names. Because vectors
-//! are in document order, the values belonging to one binding occurrence
-//! form a contiguous slice whose bounds are prefix sums of per-occurrence
-//! counts (the paper's Prop. 2.2 observation applied to querying).
+//! Evaluation never rebuilds a document. It makes **one pass over each
+//! document's hash-consed skeleton**, running every variable and value
+//! reference pattern as an NFA "machine" (the bitmask automata of
+//! [`vx_skeleton::PathPattern`]). During the pass it collects *extended
+//! vectors*: per-occurrence rows holding the parent occurrence, the
+//! vector positions of referenced text values (document order makes each
+//! occurrence's values a run of cursor positions), existence flags, and
+//! copy tasks (a skeleton node plus a cursor snapshot — enough to stream
+//! a deep copy later without having visited it).
+//!
+//! Subtrees in which no machine is alive are never entered: the memoized
+//! per-node text layout ([`PathIndex::texts_below`]) bulk advances the
+//! per-path cursors across them, so the pass touches only the parts of
+//! the skeleton the query mentions plus `O(paths)` work per skipped
+//! subtree.
+//!
+//! Tuple enumeration then runs *selections before joins*: literal
+//! filters are checked the moment a variable binds, while equality edges
+//! hash-probe an index built over the join side bound last
+//! ([`crate::Join::ready_at`]). Binding order is document order, so
+//! results come out in document order without sorting. Output either
+//! projects value bytes or streams element construction into a
+//! [`VecDocBuilder`] — the result of a constructor query is itself a
+//! vectorized document, never a DOM.
 
-use crate::graph::{QueryGraph, Test};
-use crate::{EngineError, Result};
-use std::collections::HashMap;
-use vx_core::VecDoc;
-use vx_skeleton::{NameId, NodeId, PathIndex, Skeleton};
+use crate::graph::{
+    Block, FilterTest, Output, PatStep, PatTest, QueryGraph, RefKind, Template, TplItem,
+};
+use crate::{EngineError, QueryOutput, Result};
+use std::collections::{HashMap, HashSet};
+use vx_core::{VecDoc, VecDocBuilder};
+use vx_skeleton::{NodeId, PathIndex, PathPattern, PatternStep, PatternTest, Skeleton};
 
-/// Evaluates a compiled query against a vectorized document, returning
-/// the projected text values in document order.
-pub fn reduce(doc: &VecDoc, graph: &QueryGraph) -> Result<Vec<Vec<u8>>> {
-    let root = match doc.root {
-        Some(r) => r,
-        None => return Ok(Vec::new()),
-    };
-    let skeleton = &doc.skeleton;
-
-    // Tag names never seen by the document cannot occur on any path; with
-    // purely existential filters that means an empty result.
-    let all_names = graph
-        .target
-        .iter()
-        .chain(graph.ret_rel.iter())
-        .chain(graph.filters.iter().flat_map(|f| f.rel.iter()));
-    let mut ids: HashMap<&str, NameId> = HashMap::new();
-    for name in all_names {
-        match skeleton.name_id(name) {
-            Some(id) => {
-                ids.insert(name.as_str(), id);
-            }
-            None => return Ok(Vec::new()),
+/// Evaluates `graph` against the named documents. Every `doc("…")` name
+/// the graph mentions must appear in `docs` (first entry wins on
+/// duplicates).
+pub fn reduce(graph: &QueryGraph, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
+    // Resolve document names.
+    let mut doc_of_name: HashMap<&str, usize> = HashMap::new();
+    for (i, (name, _)) in docs.iter().enumerate() {
+        doc_of_name.entry(name).or_insert(i);
+    }
+    for name in graph.doc_names() {
+        if !doc_of_name.contains_key(name) {
+            return Err(EngineError::UnknownDocument(name.to_string()));
         }
     }
-    let to_ids =
-        |tags: &[String]| -> Vec<NameId> { tags.iter().map(|t| ids[t.as_str()]).collect() };
 
-    let index = PathIndex::new(skeleton, root);
-    let target = to_ids(&graph.target);
-    let occurrences = index.occurrences(&target);
-    if occurrences == 0 {
-        return Ok(Vec::new());
-    }
-    let n = usize::try_from(occurrences)
-        .map_err(|_| EngineError::Corrupt("occurrence count overflows usize".into()))?;
-    let mut selected = vec![true; n];
-
-    let mut memo = HashMap::new();
-    for filter in &graph.filters {
-        let rel = to_ids(&filter.rel);
-        if filter.anchor == 0 {
-            // Document-level condition: all-or-nothing.
-            let holds = match &filter.test {
-                Test::Exists => index.occurrences(&rel) > 0,
-                Test::Eq(lit) => doc
-                    .vector(&path_string(skeleton, &rel))
-                    .is_some_and(|v| v.values.iter().any(|val| val == lit.as_bytes())),
-            };
-            if !holds {
-                return Ok(Vec::new());
-            }
-            continue;
-        }
-
-        let anchor_path = &target[..filter.anchor];
-        let below = &target[filter.anchor..];
-        // Per-anchor-occurrence satisfaction of the test.
-        let sat: Vec<bool> = match &filter.test {
-            Test::Exists => binding_element_counts(skeleton, root, anchor_path, &rel, &mut memo)
-                .into_iter()
-                .map(|c| c > 0)
-                .collect(),
-            Test::Eq(lit) => {
-                let counts = index.binding_text_counts(anchor_path, &rel);
-                let total: u64 = counts.iter().sum();
-                let full: Vec<NameId> = anchor_path.iter().chain(rel.iter()).copied().collect();
-                let vector = doc.vector(&path_string(skeleton, &full));
-                match vector {
-                    None if total == 0 => counts.iter().map(|_| false).collect(),
-                    None => {
-                        return Err(EngineError::Corrupt(format!(
-                            "no vector for populated path {}",
-                            path_string(skeleton, &full)
-                        )))
-                    }
-                    Some(v) => {
-                        if v.values.len() as u64 != total {
-                            return Err(EngineError::Corrupt(format!(
-                                "vector {} has {} values, skeleton counts {}",
-                                v.path,
-                                v.values.len(),
-                                total
-                            )));
-                        }
-                        let mut start = 0usize;
-                        counts
-                            .iter()
-                            .map(|&c| {
-                                let end = start + c as usize;
-                                let hit =
-                                    v.values[start..end].iter().any(|val| val == lit.as_bytes());
-                                start = end;
-                                hit
-                            })
-                            .collect()
-                    }
-                }
+    // Each variable evaluates inside exactly one document: its root
+    // ancestor's. (`vars` is topologically ordered, parents first.)
+    let mut var_doc: Vec<usize> = Vec::with_capacity(graph.vars.len());
+    for var in &graph.vars {
+        let d = match (&var.doc, var.parent) {
+            (Some(name), _) => doc_of_name[name.as_str()],
+            (None, Some(p)) => var_doc[p],
+            (None, None) => {
+                return Err(EngineError::Corrupt(
+                    "variable with neither document nor parent root".into(),
+                ))
             }
         };
+        var_doc.push(d);
+    }
 
-        // Expand anchor selection to target occurrences: each anchor
-        // occurrence owns a contiguous run of target occurrences.
-        let spans = binding_element_counts(skeleton, root, anchor_path, below, &mut memo);
-        if spans.len() != sat.len() {
-            return Err(EngineError::Corrupt(
-                "anchor occurrence counts disagree between tests".into(),
-            ));
+    let mut var_children: Vec<Vec<usize>> = vec![Vec::new(); graph.vars.len()];
+    for (v, var) in graph.vars.iter().enumerate() {
+        if let Some(p) = var.parent {
+            var_children[p].push(v);
         }
-        let mut start = 0usize;
-        for (span, ok) in spans.iter().zip(&sat) {
-            let end = start + *span as usize;
-            if end > n {
-                return Err(EngineError::Corrupt(
-                    "target spans exceed target occurrence count".into(),
-                ));
-            }
-            if !ok {
-                selected[start..end].iter_mut().for_each(|s| *s = false);
-            }
-            start = end;
+    }
+    let mut refs_of_var: Vec<Vec<usize>> = vec![Vec::new(); graph.vars.len()];
+    for (r, vref) in graph.refs.iter().enumerate() {
+        refs_of_var[vref.var].push(r);
+    }
+
+    // --- Collection: one skeleton pass per referenced document. -------
+    let mut state = State::new(graph);
+    for (doc_idx, (_, doc)) in docs.iter().enumerate() {
+        if !var_doc.contains(&doc_idx) {
+            continue;
         }
-        if start != n {
-            return Err(EngineError::Corrupt(
-                "target spans do not cover all target occurrences".into(),
-            ));
+        collect_doc(
+            graph,
+            doc,
+            doc_idx,
+            &var_doc,
+            &var_children,
+            &refs_of_var,
+            &mut state,
+        )?;
+    }
+    state.flatten_values();
+
+    // Candidate lists: occurrences of each variable grouped by parent
+    // occurrence (document order within each group).
+    let mut child_occs: Vec<Vec<Vec<usize>>> = Vec::with_capacity(graph.vars.len());
+    for (v, var) in graph.vars.iter().enumerate() {
+        match var.parent {
+            Some(p) => {
+                let mut groups = vec![Vec::new(); state.occ_parent[p].len()];
+                for (occ, &parent) in state.occ_parent[v].iter().enumerate() {
+                    groups[parent].push(occ);
+                }
+                child_occs.push(groups);
+            }
+            None => child_occs.push(Vec::new()),
         }
     }
 
-    // Projection: slice the return vector by per-target prefix sums.
-    let ret_rel = to_ids(&graph.ret_rel);
-    let counts = index.binding_text_counts(&target, &ret_rel);
-    if counts.len() != n {
-        return Err(EngineError::Corrupt(
-            "return counts disagree with target occurrences".into(),
-        ));
-    }
-    let total: u64 = counts.iter().sum();
-    let full: Vec<NameId> = target.iter().chain(ret_rel.iter()).copied().collect();
-    let vector = match doc.vector(&path_string(skeleton, &full)) {
-        Some(v) => v,
-        None if total == 0 => return Ok(Vec::new()),
-        None => {
-            return Err(EngineError::Corrupt(format!(
-                "no vector for populated path {}",
-                path_string(skeleton, &full)
-            )))
-        }
+    let eval = Eval {
+        graph,
+        docs,
+        var_doc: &var_doc,
+        state: &state,
+        child_occs: &child_occs,
+        join_index: build_join_indexes(graph, docs, &var_doc, &state),
     };
-    if vector.values.len() as u64 != total {
-        return Err(EngineError::Corrupt(format!(
-            "vector {} has {} values, skeleton counts {}",
-            vector.path,
-            vector.values.len(),
-            total
-        )));
-    }
-    let mut out = Vec::new();
-    let mut start = 0usize;
-    for (count, keep) in counts.iter().zip(&selected) {
-        let end = start + *count as usize;
-        if *keep {
-            out.extend(vector.values[start..end].iter().cloned());
+
+    let mut env = vec![usize::MAX; graph.vars.len()];
+    match &graph.block.output {
+        Output::Values(_) => {
+            let mut out = Vec::new();
+            eval.run_block(&graph.block, &mut env, &mut Sink::Values(&mut out))?;
+            Ok(QueryOutput::Values(out))
         }
-        start = end;
+        Output::Document(_) => {
+            let mut builder = VecDocBuilder::new();
+            builder.begin_element("results");
+            eval.run_block(&graph.block, &mut env, &mut Sink::Builder(&mut builder))?;
+            builder.end_element();
+            Ok(QueryOutput::Document(builder.finish()?))
+        }
     }
-    Ok(out)
 }
 
-/// Joins a tag-id path into the catalog path string.
-fn path_string(skeleton: &Skeleton, path: &[NameId]) -> String {
-    path.iter()
-        .map(|&id| skeleton.name(id))
-        .collect::<Vec<_>>()
-        .join("/")
+// ---------------------------------------------------------------------
+// Extended-vector state collected by the skeleton pass.
+// ---------------------------------------------------------------------
+
+/// A recorded deep copy: enough to stream the subtree later without
+/// having entered it during collection.
+#[derive(Debug, Clone)]
+struct CopyTask {
+    node: NodeId,
+    /// Absolute tag path of `node` (its own tag included).
+    path: String,
+    /// Per-path cursor positions at the moment the copy root was
+    /// reached; paths absent from the snapshot had position 0.
+    cursors: HashMap<String, usize>,
 }
 
-/// For each occurrence of `binding` (document order, runs expanded), the
-/// number of `rel`-path *element* occurrences below it. `rel` empty means
-/// the occurrence itself (always 1) — unlike text counts, which only see
-/// `#` leaves. Memoized per `(node, rel-suffix)` so shared DAG nodes are
-/// counted once.
-fn binding_element_counts(
-    skeleton: &Skeleton,
-    root: NodeId,
-    binding: &[NameId],
-    rel: &[NameId],
-    memo: &mut HashMap<(NodeId, Vec<NameId>), u64>,
-) -> Vec<u64> {
-    fn count(
-        skeleton: &Skeleton,
-        node: NodeId,
-        rel: &[NameId],
-        memo: &mut HashMap<(NodeId, Vec<NameId>), u64>,
-    ) -> u64 {
-        match rel.split_first() {
-            None => 1,
-            Some((&next, tail)) => {
-                let key = (node, rel.to_vec());
-                if let Some(&v) = memo.get(&key) {
-                    return v;
-                }
-                let mut total = 0;
-                for edge in &skeleton.node(node).edges {
-                    if skeleton.node(edge.child).name == Some(next) {
-                        total += edge.run * count(skeleton, edge.child, tail, memo);
-                    }
-                }
-                memo.insert(key, total);
-                total
+/// Per-reference collected data, indexed `[occurrence of owning var]`.
+#[derive(Debug)]
+enum RefData {
+    Exists(Vec<bool>),
+    /// Groups of `(vector index, value index)` — one group per accepting
+    /// element, in document order; flattened after collection.
+    Values(Vec<Vec<Vec<(usize, usize)>>>),
+    /// Post-collection flattened form of `Values`.
+    Flat(Vec<Vec<(usize, usize)>>),
+    Copy(Vec<Vec<CopyTask>>),
+}
+
+struct State {
+    /// `[var][occ]` → parent occurrence index (0 under a document root).
+    occ_parent: Vec<Vec<usize>>,
+    /// `[ref]` → per-occurrence data.
+    ref_data: Vec<RefData>,
+}
+
+impl State {
+    fn new(graph: &QueryGraph) -> State {
+        State {
+            occ_parent: vec![Vec::new(); graph.vars.len()],
+            ref_data: graph
+                .refs
+                .iter()
+                .map(|r| match r.kind {
+                    RefKind::Exists => RefData::Exists(Vec::new()),
+                    RefKind::Values => RefData::Values(Vec::new()),
+                    RefKind::Copy => RefData::Copy(Vec::new()),
+                })
+                .collect(),
+        }
+    }
+
+    fn flatten_values(&mut self) {
+        for data in &mut self.ref_data {
+            if let RefData::Values(groups) = data {
+                let flat = groups
+                    .drain(..)
+                    .map(|g| g.into_iter().flatten().collect())
+                    .collect();
+                *data = RefData::Flat(flat);
             }
         }
     }
 
-    fn walk(
-        skeleton: &Skeleton,
-        node: NodeId,
-        rest: &[NameId],
-        rel: &[NameId],
-        repeat: u64,
-        memo: &mut HashMap<(NodeId, Vec<NameId>), u64>,
-        out: &mut Vec<u64>,
-    ) {
-        match rest.split_first() {
+    fn exists(&self, r: usize, occ: usize) -> bool {
+        match &self.ref_data[r] {
+            RefData::Exists(v) => v[occ],
+            _ => false,
+        }
+    }
+
+    fn values(&self, r: usize, occ: usize) -> &[(usize, usize)] {
+        match &self.ref_data[r] {
+            RefData::Flat(v) => &v[occ],
+            _ => &[],
+        }
+    }
+
+    fn copies(&self, r: usize, occ: usize) -> &[CopyTask] {
+        match &self.ref_data[r] {
+            RefData::Copy(v) => &v[occ],
+            _ => &[],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collection: the single skeleton pass per document.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Var(usize),
+    Ref(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Machine {
+    target: Target,
+    /// For `Var`: the parent variable's occurrence. For `Ref`: the
+    /// owning variable's occurrence.
+    owner: usize,
+    states: u64,
+}
+
+/// A `Values` reference whose pattern accepted at the current element:
+/// the element's direct text children land in group `group`.
+struct Collector {
+    r: usize,
+    occ: usize,
+    group: usize,
+}
+
+fn pattern_of(steps: &[PatStep], skeleton: &Skeleton) -> Result<PathPattern> {
+    PathPattern::new(
+        steps
+            .iter()
+            .map(|s| PatternStep {
+                descend: s.descend,
+                test: match &s.test {
+                    PatTest::Name(n) => PatternTest::Name(skeleton.name_id(n)),
+                    PatTest::Any => PatternTest::Any,
+                },
+            })
+            .collect(),
+    )
+    .ok_or_else(|| EngineError::unsupported("path pattern with more than 63 steps", None))
+}
+
+fn collect_doc(
+    graph: &QueryGraph,
+    doc: &VecDoc,
+    doc_idx: usize,
+    var_doc: &[usize],
+    var_children: &[Vec<usize>],
+    refs_of_var: &[Vec<usize>],
+    state: &mut State,
+) -> Result<()> {
+    let root = doc
+        .root
+        .ok_or_else(|| EngineError::Corrupt("document has no root".into()))?;
+    let skeleton = &doc.skeleton;
+    let root_name = skeleton
+        .node(root)
+        .name
+        .ok_or_else(|| EngineError::Corrupt("document root is a text node".into()))?;
+
+    let mut var_pat: Vec<Option<PathPattern>> = vec![None; graph.vars.len()];
+    let mut ref_pat: Vec<Option<PathPattern>> = vec![None; graph.refs.len()];
+    for (v, var) in graph.vars.iter().enumerate() {
+        if var_doc[v] == doc_idx {
+            var_pat[v] = Some(pattern_of(&var.steps, skeleton)?);
+        }
+    }
+    for (r, vref) in graph.refs.iter().enumerate() {
+        if var_doc[vref.var] == doc_idx {
+            ref_pat[r] = Some(pattern_of(&vref.steps, skeleton)?);
+        }
+    }
+
+    let index = PathIndex::new(skeleton, root);
+
+    // Integrity gate: every root-to-text path the skeleton counts must
+    // be backed by a vector of exactly that many values, or evaluation
+    // would silently return partial answers over a damaged store.
+    for (rel, count) in index.text_paths() {
+        let path: String = rel
+            .iter()
+            .map(|&n| skeleton.name(n))
+            .collect::<Vec<_>>()
+            .join("/");
+        match doc.vector(&path) {
             None => {
-                let c = count(skeleton, node, rel, memo);
-                for _ in 0..repeat {
-                    out.push(c);
+                return Err(EngineError::Corrupt(format!(
+                    "no vector for path {path} (skeleton counts {count})"
+                )));
+            }
+            Some(vector) if vector.values.len() as u64 != count => {
+                return Err(EngineError::Corrupt(format!(
+                    "vector {path} has {} values, skeleton counts {count}",
+                    vector.values.len()
+                )));
+            }
+            Some(_) => {}
+        }
+    }
+
+    let mut walker = Walker {
+        doc,
+        skeleton,
+        index,
+        graph,
+        var_pat,
+        ref_pat,
+        var_children,
+        refs_of_var,
+        state,
+        cursors: HashMap::new(),
+        path: String::new(),
+        root,
+        root_path: skeleton.name(root_name).to_string(),
+    };
+
+    // The virtual super-root: document-rooted variables spawn here, so a
+    // pattern's first step is matched against the root element itself.
+    let mut machines = Vec::new();
+    let mut collectors = Vec::new();
+    for (v, var) in graph.vars.iter().enumerate() {
+        if var.doc.is_some() && var_doc[v] == doc_idx {
+            walker.spawn(Target::Var(v), 0, None, &mut machines, &mut collectors);
+        }
+    }
+    walker.visit(root, &machines)
+}
+
+struct Walker<'a> {
+    doc: &'a VecDoc,
+    skeleton: &'a Skeleton,
+    index: PathIndex<'a>,
+    graph: &'a QueryGraph,
+    var_pat: Vec<Option<PathPattern>>,
+    ref_pat: Vec<Option<PathPattern>>,
+    var_children: &'a [Vec<usize>],
+    refs_of_var: &'a [Vec<usize>],
+    state: &'a mut State,
+    /// Per-path count of text values already passed, in document order.
+    cursors: HashMap<String, usize>,
+    /// Absolute tag path of the element being visited.
+    path: String,
+    root: NodeId,
+    root_path: String,
+}
+
+impl Walker<'_> {
+    fn pattern(&self, target: Target) -> &PathPattern {
+        match target {
+            Target::Var(v) => self.var_pat[v].as_ref().expect("pattern for local var"),
+            Target::Ref(r) => self.ref_pat[r].as_ref().expect("pattern for local ref"),
+        }
+    }
+
+    /// Starts a machine. An empty pattern accepts immediately at the
+    /// spawn point (`at`; `None` is the virtual super-root).
+    fn spawn(
+        &mut self,
+        target: Target,
+        owner: usize,
+        at: Option<NodeId>,
+        machines: &mut Vec<Machine>,
+        collectors: &mut Vec<Collector>,
+    ) {
+        machines.push(Machine {
+            target,
+            owner,
+            states: PathPattern::START,
+        });
+        if self.pattern(target).is_empty() {
+            self.accept(target, owner, at, machines, collectors);
+        }
+    }
+
+    /// Handles a pattern reaching its accept state at `at`.
+    fn accept(
+        &mut self,
+        target: Target,
+        owner: usize,
+        at: Option<NodeId>,
+        machines: &mut Vec<Machine>,
+        collectors: &mut Vec<Collector>,
+    ) {
+        match target {
+            Target::Var(v) => {
+                let occ = self.state.occ_parent[v].len();
+                self.state.occ_parent[v].push(owner);
+                for &r in self.refs_of_var[v].iter() {
+                    match &mut self.state.ref_data[r] {
+                        RefData::Exists(rows) => rows.push(false),
+                        RefData::Values(rows) => rows.push(Vec::new()),
+                        RefData::Copy(rows) => rows.push(Vec::new()),
+                        RefData::Flat(_) => unreachable!("flattened after collection"),
+                    }
+                }
+                for &w in self.var_children[v].iter() {
+                    self.spawn(Target::Var(w), occ, at, machines, collectors);
+                }
+                for &r in self.refs_of_var[v].iter() {
+                    self.spawn(Target::Ref(r), occ, at, machines, collectors);
                 }
             }
-            Some((&next, tail)) => {
-                for edge in &skeleton.node(node).edges {
-                    if skeleton.node(edge.child).name == Some(next) {
-                        walk(skeleton, edge.child, tail, rel, edge.run, memo, out);
+            Target::Ref(r) => match self.graph.refs[r].kind {
+                RefKind::Exists => {
+                    if let RefData::Exists(rows) = &mut self.state.ref_data[r] {
+                        rows[owner] = true;
+                    }
+                }
+                RefKind::Values => {
+                    if let RefData::Values(rows) = &mut self.state.ref_data[r] {
+                        let group = rows[owner].len();
+                        rows[owner].push(Vec::new());
+                        collectors.push(Collector {
+                            r,
+                            occ: owner,
+                            group,
+                        });
+                    }
+                }
+                RefKind::Copy => {
+                    let task = match at {
+                        Some(node) => CopyTask {
+                            node,
+                            path: self.path.clone(),
+                            cursors: self.cursors.clone(),
+                        },
+                        // Copying at the super-root copies the document:
+                        // the root element, with pristine cursors.
+                        None => CopyTask {
+                            node: self.root,
+                            path: self.root_path.clone(),
+                            cursors: HashMap::new(),
+                        },
+                    };
+                    if let RefData::Copy(rows) = &mut self.state.ref_data[r] {
+                        rows[owner].push(task);
+                    }
+                }
+            },
+        }
+    }
+
+    fn visit(&mut self, node: NodeId, machines: &[Machine]) -> Result<()> {
+        let (name_id, edges) = {
+            let data = self.skeleton.node(node);
+            let name_id = data
+                .name
+                .ok_or_else(|| EngineError::Corrupt("element visit reached a text node".into()))?;
+            (name_id, data.edges.clone())
+        };
+        let name = self.skeleton.name(name_id).to_string();
+        let parent_len = self.path.len();
+        if !self.path.is_empty() {
+            self.path.push('/');
+        }
+        self.path.push_str(&name);
+
+        // Advance every machine over this element; accepts happen in
+        // machine order, which is parent-occurrence order, so occurrence
+        // lists stay in document order.
+        let mut advanced: Vec<(Machine, bool)> = Vec::with_capacity(machines.len());
+        for m in machines {
+            let pattern = self.pattern(m.target);
+            let states = pattern.advance(m.states, name_id, &name);
+            if states == 0 {
+                continue;
+            }
+            let accepted = pattern.accepts(states);
+            advanced.push((
+                Machine {
+                    target: m.target,
+                    owner: m.owner,
+                    states,
+                },
+                accepted,
+            ));
+        }
+        let mut live: Vec<Machine> = Vec::with_capacity(advanced.len());
+        let mut collectors: Vec<Collector> = Vec::new();
+        for (m, accepted) in advanced {
+            if accepted {
+                self.accept(m.target, m.owner, Some(node), &mut live, &mut collectors);
+            }
+            live.push(m);
+        }
+
+        for edge in edges {
+            let child_name = self.skeleton.node(edge.child).name;
+            match child_name {
+                None => {
+                    // Text children: their vector is the current path's.
+                    let vec_pos = self.doc.vector_position(&self.path).ok_or_else(|| {
+                        EngineError::Corrupt(format!("no vector for text path {:?}", self.path))
+                    })?;
+                    let start = *self.cursors.entry(self.path.clone()).or_insert(0);
+                    *self.cursors.get_mut(&self.path).expect("just inserted") += edge.run as usize;
+                    for c in &collectors {
+                        if let RefData::Values(rows) = &mut self.state.ref_data[c.r] {
+                            for k in 0..edge.run as usize {
+                                rows[c.occ][c.group].push((vec_pos, start + k));
+                            }
+                        }
+                    }
+                }
+                Some(child_name_id) => {
+                    if live.is_empty() {
+                        // No machine can match anything below: bulk-advance
+                        // the cursors over the subtree without entering it.
+                        let child_name = self.skeleton.name(child_name_id).to_string();
+                        self.skip(edge.child, edge.run, &child_name);
+                    } else {
+                        for _ in 0..edge.run {
+                            self.visit(edge.child, &live)?;
+                        }
                     }
                 }
             }
         }
+        self.path.truncate(parent_len);
+        Ok(())
     }
 
-    let mut out = Vec::new();
-    if let Some((&first, rest)) = binding.split_first() {
-        if skeleton.node(root).name == Some(first) {
-            walk(skeleton, root, rest, rel, 1, memo, &mut out);
+    /// Advances the per-path cursors across `run` repetitions of the
+    /// subtree at `child` using the memoized text layout, in `O(paths)`.
+    fn skip(&mut self, child: NodeId, run: u64, child_name: &str) {
+        let rels: Vec<(String, u64)> = self
+            .index
+            .texts_below(child)
+            .iter()
+            .map(|(rel, count)| {
+                let mut abs = self.path.clone();
+                if !abs.is_empty() {
+                    abs.push('/');
+                }
+                abs.push_str(child_name);
+                for &name_id in rel {
+                    abs.push('/');
+                    abs.push_str(self.skeleton.name(name_id));
+                }
+                (abs, *count)
+            })
+            .collect();
+        for (abs, count) in rels {
+            *self.cursors.entry(abs).or_insert(0) += (count * run) as usize;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Enumeration: selections before joins, document-order tuples.
+// ---------------------------------------------------------------------
+
+enum Sink<'b> {
+    Values(&'b mut Vec<Vec<u8>>),
+    Builder(&'b mut VecDocBuilder),
+}
+
+struct Eval<'a> {
+    graph: &'a QueryGraph,
+    docs: &'a [(&'a str, &'a VecDoc)],
+    var_doc: &'a [usize],
+    state: &'a State,
+    /// `[var][parent occ]` → candidate occurrences (empty outer Vec for
+    /// document-rooted variables, whose candidates are all occurrences).
+    child_occs: &'a [Vec<Vec<usize>>],
+    /// Hash-join indexes keyed by build-side reference: value bytes →
+    /// occurrences of the build variable carrying that value.
+    join_index: HashMap<usize, HashMap<Vec<u8>, HashSet<usize>>>,
+}
+
+/// Pre-builds the hash index for every join edge's build side (the side
+/// bound last during enumeration, per [`crate::Join::ready_at`]).
+fn build_join_indexes(
+    graph: &QueryGraph,
+    docs: &[(&str, &VecDoc)],
+    var_doc: &[usize],
+    state: &State,
+) -> HashMap<usize, HashMap<Vec<u8>, HashSet<usize>>> {
+    let mut out: HashMap<usize, HashMap<Vec<u8>, HashSet<usize>>> = HashMap::new();
+    let mut stack: Vec<&Block> = vec![&graph.block];
+    while let Some(block) = stack.pop() {
+        for join in &block.joins {
+            let Some(pos) = join.ready_at else { continue };
+            let at_var = block.vars[pos];
+            let build = if graph.refs[join.left].var == at_var {
+                join.left
+            } else {
+                join.right
+            };
+            out.entry(build).or_insert_with(|| {
+                let var = graph.refs[build].var;
+                let doc = docs[var_doc[var]].1;
+                let mut index: HashMap<Vec<u8>, HashSet<usize>> = HashMap::new();
+                for occ in 0..state.occ_parent[var].len() {
+                    for &(vec, idx) in state.values(build, occ) {
+                        index
+                            .entry(doc.vectors()[vec].values[idx].clone())
+                            .or_default()
+                            .insert(occ);
+                    }
+                }
+                index
+            });
+        }
+        if let Output::Document(tpl) = &block.output {
+            push_template_blocks(tpl, &mut stack);
         }
     }
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::graph::compile;
-    use vx_core::vectorize;
-    use vx_xquery::parse_query;
-
-    fn doc(xml: &str) -> VecDoc {
-        vectorize(&vx_xml::parse(xml).unwrap()).unwrap()
+fn push_template_blocks<'g>(tpl: &'g Template, stack: &mut Vec<&'g Block>) {
+    for item in &tpl.content {
+        match item {
+            TplItem::Block(b) => {
+                stack.push(b);
+                if let Output::Document(inner) = &b.output {
+                    push_template_blocks(inner, stack);
+                }
+            }
+            TplItem::Element(e) => push_template_blocks(e, stack),
+            TplItem::Copy(_) => {}
+        }
     }
+}
 
-    fn eval(xml: &str, query: &str) -> Vec<String> {
-        let d = doc(xml);
-        let graph = compile(&parse_query(query).unwrap()).unwrap();
-        reduce(&d, &graph)
-            .unwrap()
-            .into_iter()
-            .map(|v| String::from_utf8(v).unwrap())
+impl Eval<'_> {
+    fn ref_bytes(&self, r: usize, occ: usize) -> Vec<&[u8]> {
+        let doc = self.docs[self.var_doc[self.graph.refs[r].var]].1;
+        self.state
+            .values(r, occ)
+            .iter()
+            .map(|&(vec, idx)| doc.vectors()[vec].values[idx].as_slice())
             .collect()
     }
 
-    const LIB: &str = "<lib>\
-        <book><title>A</title><lang>en</lang><author>x</author></book>\
-        <book><title>B</title><lang>fr</lang><author>y</author><author>z</author></book>\
-        <book><title>C</title><lang>en</lang></book>\
-        </lib>";
-
-    #[test]
-    fn selection_with_equality() {
-        assert_eq!(
-            eval(
-                LIB,
-                r#"for $b in doc("lib")/lib/book where $b/lang = "en" return $b/title"#
-            ),
-            vec!["A", "C"]
-        );
+    fn filter_passes(&self, test: &FilterTest, occ: usize) -> bool {
+        match test {
+            FilterTest::Exists(r) => self.state.exists(*r, occ),
+            FilterTest::Eq(r, lit) => self.ref_bytes(*r, occ).contains(&lit.as_bytes()),
+            FilterTest::PathPair(a, b) => {
+                let left: HashSet<&[u8]> = self.ref_bytes(*a, occ).into_iter().collect();
+                self.ref_bytes(*b, occ).iter().any(|v| left.contains(v))
+            }
+        }
     }
 
-    #[test]
-    fn selection_with_exists() {
-        assert_eq!(
-            eval(
-                LIB,
-                r#"for $b in doc("lib")/lib/book where exists($b/author) return $b/title"#
-            ),
-            vec!["A", "B"]
-        );
+    fn run_block(&self, block: &Block, env: &mut Vec<usize>, sink: &mut Sink<'_>) -> Result<()> {
+        // Entry checks: filters and joins whose variables are all bound
+        // in enclosing blocks.
+        for filter in &block.filters {
+            if filter.ready_at.is_none() && !self.filter_passes(&filter.test, env[filter.var]) {
+                return Ok(());
+            }
+        }
+        for join in &block.joins {
+            if join.ready_at.is_none() {
+                let left = self.ref_bytes(join.left, env[self.graph.refs[join.left].var]);
+                let set: HashSet<&[u8]> = left.into_iter().collect();
+                let right = self.ref_bytes(join.right, env[self.graph.refs[join.right].var]);
+                if !right.iter().any(|v| set.contains(v)) {
+                    return Ok(());
+                }
+            }
+        }
+        self.bind(block, 0, env, sink)
     }
 
-    #[test]
-    fn qualifier_and_multi_valued_projection() {
-        assert_eq!(
-            eval(
-                LIB,
-                r#"for $b in doc("lib")/lib/book[lang = "fr"] return $b/author"#
-            ),
-            vec!["y", "z"]
-        );
+    fn bind(
+        &self,
+        block: &Block,
+        pos: usize,
+        env: &mut Vec<usize>,
+        sink: &mut Sink<'_>,
+    ) -> Result<()> {
+        if pos == block.vars.len() {
+            return self.emit(&block.output, env, sink);
+        }
+        let var = block.vars[pos];
+
+        // Hash-probe every join that becomes checkable at this binding:
+        // the set of build-side occurrences matching some probe value.
+        let mut allowed: Option<HashSet<usize>> = None;
+        for join in &block.joins {
+            if join.ready_at != Some(pos) {
+                continue;
+            }
+            let (build, probe) = if self.graph.refs[join.left].var == var {
+                (join.left, join.right)
+            } else {
+                (join.right, join.left)
+            };
+            let index = &self.join_index[&build];
+            let probe_occ = env[self.graph.refs[probe].var];
+            let mut matched: HashSet<usize> = HashSet::new();
+            for value in self.ref_bytes(probe, probe_occ) {
+                if let Some(occs) = index.get(value) {
+                    matched.extend(occs);
+                }
+            }
+            allowed = Some(match allowed {
+                None => matched,
+                Some(prev) => prev.intersection(&matched).copied().collect(),
+            });
+        }
+
+        let all: Vec<usize>;
+        let candidates: &[usize] = match self.graph.vars[var].parent {
+            Some(p) => &self.child_occs[var][env[p]],
+            None => {
+                all = (0..self.state.occ_parent[var].len()).collect();
+                &all
+            }
+        };
+        'occs: for &occ in candidates {
+            if let Some(allowed) = &allowed {
+                if !allowed.contains(&occ) {
+                    continue;
+                }
+            }
+            // Selections first: literal filters on this variable.
+            for filter in &block.filters {
+                if filter.ready_at == Some(pos) && !self.filter_passes(&filter.test, occ) {
+                    continue 'occs;
+                }
+            }
+            env[var] = occ;
+            self.bind(block, pos + 1, env, sink)?;
+        }
+        env[var] = usize::MAX;
+        Ok(())
     }
 
-    #[test]
-    fn unknown_tag_gives_empty_result() {
-        assert_eq!(
-            eval(LIB, r#"for $b in doc("lib")/lib/nothing return $b/title"#),
-            Vec::<String>::new()
-        );
+    fn emit(&self, output: &Output, env: &mut Vec<usize>, sink: &mut Sink<'_>) -> Result<()> {
+        match output {
+            Output::Values(r) => {
+                let var = self.graph.refs[*r].var;
+                let occ = env[var];
+                let doc = self.docs[self.var_doc[var]].1;
+                for &(vec, idx) in self.state.values(*r, occ) {
+                    let bytes = doc.vectors()[vec].values[idx].clone();
+                    match sink {
+                        Sink::Values(out) => out.push(bytes),
+                        Sink::Builder(b) => b.text(bytes),
+                    }
+                }
+                Ok(())
+            }
+            Output::Document(tpl) => match sink {
+                Sink::Builder(b) => self.render(tpl, env, b),
+                Sink::Values(_) => Err(EngineError::Corrupt(
+                    "constructor output into a value sink".into(),
+                )),
+            },
+        }
     }
 
-    #[test]
-    fn attribute_projection() {
-        let xml = r#"<r><e id="1"><v>a</v></e><e id="2"><v>b</v></e></r>"#;
-        assert_eq!(
-            eval(
-                xml,
-                r#"for $e in doc("d")/r/e where $e/v = "b" return $e/@id"#
-            ),
-            vec!["2"]
-        );
+    fn render(
+        &self,
+        tpl: &Template,
+        env: &mut Vec<usize>,
+        builder: &mut VecDocBuilder,
+    ) -> Result<()> {
+        builder.begin_element(&tpl.tag);
+        for item in &tpl.content {
+            match item {
+                TplItem::Copy(r) => {
+                    let var = self.graph.refs[*r].var;
+                    let doc = self.docs[self.var_doc[var]].1;
+                    for task in self.state.copies(*r, env[var]) {
+                        let mut cursors = task.cursors.clone();
+                        let mut path = task.path.clone();
+                        copy_walk(doc, task.node, &mut path, &mut cursors, builder)?;
+                    }
+                }
+                TplItem::Element(e) => self.render(e, env, builder)?,
+                TplItem::Block(b) => {
+                    self.run_block(b, env, &mut Sink::Builder(builder))?;
+                }
+            }
+        }
+        builder.end_element();
+        Ok(())
     }
+}
+
+/// Streams a deep copy of the subtree at `node` into the builder,
+/// pulling text values through local cursors seeded from the copy
+/// task's snapshot (paths never seen before the snapshot start at 0).
+fn copy_walk(
+    doc: &VecDoc,
+    node: NodeId,
+    path: &mut String,
+    cursors: &mut HashMap<String, usize>,
+    builder: &mut VecDocBuilder,
+) -> Result<()> {
+    let skeleton = &doc.skeleton;
+    let data = skeleton.node(node);
+    let name_id = data
+        .name
+        .ok_or_else(|| EngineError::Corrupt("copy task rooted at a text node".into()))?;
+    builder.begin_element(skeleton.name(name_id));
+    for edge in &data.edges {
+        let child = skeleton.node(edge.child);
+        match child.name {
+            None => {
+                let vector = doc.vector(path).ok_or_else(|| {
+                    EngineError::Corrupt(format!("no vector for copied path {path:?}"))
+                })?;
+                let cursor = cursors.entry(path.clone()).or_insert(0);
+                for _ in 0..edge.run {
+                    let bytes = vector.values.get(*cursor).cloned().ok_or_else(|| {
+                        EngineError::Corrupt(format!("vector {path:?} exhausted during copy"))
+                    })?;
+                    *cursor += 1;
+                    builder.text(bytes);
+                }
+            }
+            Some(child_name) => {
+                let saved = path.len();
+                path.push('/');
+                path.push_str(skeleton.name(child_name));
+                for _ in 0..edge.run {
+                    copy_walk(doc, edge.child, path, cursors, builder)?;
+                }
+                path.truncate(saved);
+            }
+        }
+    }
+    builder.end_element();
+    Ok(())
 }

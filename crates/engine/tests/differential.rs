@@ -1,0 +1,343 @@
+//! Differential suite: `reduce` (vectorized) vs `naive_eval` (DOM
+//! nested loops) over the XQ[*,//] fragment — wildcards, descendant
+//! steps, qualifiers, joins (including two-collection joins), and
+//! element construction. Value outputs compare byte-for-byte; document
+//! outputs compare by serialized XML after reconstructing the engine's
+//! vectorized result.
+
+use vx_core::{reconstruct, vectorize, VecDoc};
+use vx_engine::{naive_eval, EngineError, NaiveOutput, Query, QueryOutput};
+use vx_xml::{parse, write_document, Document, WriteOptions};
+
+/// A small hand-written corpus with attributes and nesting — the shapes
+/// the generated MedLine/SkyServer corpora don't exercise.
+const SHOP: &str = "<shop>\
+  <item sku=\"a1\" lang=\"en\"><name>pen</name><price>2</price><tag>office</tag><tag>blue</tag></item>\
+  <item sku=\"b2\" lang=\"de\"><name>ink</name><price>5</price><tag>office</tag></item>\
+  <bundle><item sku=\"c3\" lang=\"en\"><name>set</name><price>5</price></item></bundle>\
+  <item sku=\"d4\" lang=\"en\"><name>pad</name><price>2</price><tag>paper</tag></item>\
+</shop>";
+
+struct Corpus {
+    docs: Vec<(String, Document, VecDoc)>,
+}
+
+impl Corpus {
+    fn new() -> Corpus {
+        let mut docs = Vec::new();
+        for (name, dom) in [
+            ("ml".to_string(), vx_data::medline(7, 60)),
+            ("ml2".to_string(), vx_data::medline(99, 40)),
+            ("sky".to_string(), vx_data::skyserver(3, 80)),
+            ("shop".to_string(), parse(SHOP).unwrap()),
+        ] {
+            let vec = vectorize(&dom).unwrap();
+            docs.push((name, dom, vec));
+        }
+        Corpus { docs }
+    }
+
+    fn doms(&self) -> Vec<(&str, &Document)> {
+        self.docs.iter().map(|(n, d, _)| (n.as_str(), d)).collect()
+    }
+
+    fn vecs(&self) -> Vec<(&str, &VecDoc)> {
+        self.docs.iter().map(|(n, _, v)| (n.as_str(), v)).collect()
+    }
+
+    /// Runs one query both ways and asserts agreement. Returns the
+    /// engine output for additional shape assertions.
+    fn check(&self, src: &str) -> QueryOutput {
+        let parsed = vx_xquery::parse_query(src).expect(src);
+        let expected = naive_eval(&parsed, &self.doms()).expect(src);
+        let query = Query::new(src).expect(src);
+        let got = query.run_corpus(&self.vecs()).expect(src);
+        match (&got, &expected) {
+            (QueryOutput::Values(g), NaiveOutput::Values(e)) => {
+                assert_eq!(g, e, "value mismatch for {src}");
+            }
+            (QueryOutput::Document(g), NaiveOutput::Document(e)) => {
+                let opts = WriteOptions::compact();
+                let engine_xml = write_document(&reconstruct(g).expect(src), &opts);
+                let oracle_xml = write_document(e, &opts);
+                assert_eq!(engine_xml, oracle_xml, "document mismatch for {src}");
+            }
+            _ => panic!("output shape mismatch for {src}"),
+        }
+        got
+    }
+
+    fn values(&self, src: &str) -> Vec<String> {
+        match self.check(src) {
+            QueryOutput::Values(v) => v
+                .into_iter()
+                .map(|b| String::from_utf8(b).unwrap())
+                .collect(),
+            QueryOutput::Document(_) => panic!("expected values for {src}"),
+        }
+    }
+}
+
+#[test]
+fn chains_selections_and_projections() {
+    let c = Corpus::new();
+    // Plain chain.
+    let all = c.values(r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation return $c/PMID"#);
+    assert_eq!(all.len(), 60);
+    assert_eq!(all[0], "10000000");
+    // Literal selection.
+    let eng = c.values(
+        r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation
+           where $c/Language = "ENG"
+           return $c/PMID"#,
+    );
+    assert!(!eng.is_empty() && eng.len() < 60);
+    // Existential selection.
+    c.check(
+        r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation
+           where exists($c/Article/Abstract)
+           return $c/PMID"#,
+    );
+    // Qualifier sugar desugars to the same thing.
+    let sugared = c.values(
+        r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation[Language = "SPA"]
+           return $c/PMID"#,
+    );
+    let explicit = c.values(
+        r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation
+           where $c/Language = "SPA"
+           return $c/PMID"#,
+    );
+    assert_eq!(sugared, explicit);
+    // Conjunction of selections.
+    c.check(
+        r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation
+           where $c/Language = "ENG" and exists($c/Article/Abstract)
+           return $c/Article/ArticleTitle"#,
+    );
+}
+
+#[test]
+fn wildcard_steps() {
+    let c = Corpus::new();
+    // `*` over a homogeneous child set.
+    let via_star = c.values(r#"for $c in doc("ml")/MedlineCitationSet/* return $c/PMID"#);
+    let via_name =
+        c.values(r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation return $c/PMID"#);
+    assert_eq!(via_star, via_name);
+    // `*` in a reference path: direct texts of every child element.
+    c.check(r#"for $p in doc("sky")/PhotoObjAll/PhotoObj return $p/*"#);
+    // `*` never matches attribute pseudo-children.
+    let texts = c.values(r#"for $i in doc("shop")/shop/item return $i/*"#);
+    assert!(texts.contains(&"pen".to_string()));
+    assert!(!texts.contains(&"a1".to_string()), "`*` must skip @sku");
+    // Wildcard mid-pattern.
+    c.check(r#"for $a in doc("ml")/MedlineCitationSet/*/Article/*/Author return $a/LastName"#);
+}
+
+#[test]
+fn descendant_steps() {
+    let c = Corpus::new();
+    let deep = c.values(r#"for $a in doc("ml")//Author return $a/LastName"#);
+    assert!(!deep.is_empty());
+    // Binding and reference both descendant.
+    c.check(r#"for $c in doc("ml")//MedlineCitation return $c//LastName"#);
+    // Descendant finds nested elements the child axis misses.
+    let items = c.values(r#"for $i in doc("shop")//item return $i/@sku"#);
+    assert_eq!(items, ["a1", "b2", "c3", "d4"]);
+    let shallow = c.values(r#"for $i in doc("shop")/shop/item return $i/@sku"#);
+    assert_eq!(shallow, ["a1", "b2", "d4"]);
+    // `//*` wildcard descent.
+    c.check(r#"for $x in doc("shop")/shop//* return $x/name"#);
+    // Descendant below a bound variable.
+    c.check(r#"for $c in doc("ml")//MedlineCitation, $a in $c//Author where $c/Language = "FRE" return $a/LastName"#);
+}
+
+#[test]
+fn attribute_axes() {
+    let c = Corpus::new();
+    let skus = c.values(r#"for $i in doc("shop")//item where $i/@lang = "en" return $i/@sku"#);
+    assert_eq!(skus, ["a1", "c3", "d4"]);
+    // Attribute-valued join key.
+    c.check(
+        r#"for $a in doc("shop")//item, $b in doc("shop")//item
+           where $a/price = $b/price
+           return $b/@sku"#,
+    );
+    // Descendant attribute step.
+    c.check(r#"for $s in doc("shop")/shop return $s//@sku"#);
+}
+
+#[test]
+fn equality_joins() {
+    let c = Corpus::new();
+    // Self join on publication year, selection on one side first.
+    c.check(
+        r#"for $a in doc("ml")//MedlineCitation, $b in doc("ml")//MedlineCitation
+           where $a/Language = "FRE" and $a/PubData/Year = $b/PubData/Year
+           return $b/PMID"#,
+    );
+    // Two-collection join: different corpora, shared year vocabulary.
+    let joined = c.values(
+        r#"for $a in doc("ml")/MedlineCitationSet/MedlineCitation,
+               $b in doc("ml2")/MedlineCitationSet/MedlineCitation
+           where $a/PubData/Year = $b/PubData/Year
+           return $b/PMID"#,
+    );
+    assert!(!joined.is_empty(), "seeded corpora must share some years");
+    // Three-way binding with a join and a selection.
+    c.check(
+        r#"for $a in doc("ml")//MedlineCitation,
+               $b in doc("ml2")//MedlineCitation,
+               $x in $a/Article/AuthorList/Author
+           where $a/PubData/Year = $b/PubData/Year and $b/Language = "GER"
+           return $x/LastName"#,
+    );
+    // Join with no shared values: empty, on both sides.
+    let empty = c.values(
+        r#"for $p in doc("sky")//PhotoObj, $m in doc("ml")//MedlineCitation
+           where $p/objID = $m/PMID
+           return $p/ra"#,
+    );
+    assert!(empty.is_empty());
+    // Same-variable path pair (degenerate join).
+    c.check(r#"for $p in doc("sky")/PhotoObjAll/PhotoObj where $p/g = $p/r return $p/objID"#);
+    // Document-rooted condition path (synthesized anchor variable).
+    c.check(
+        r#"for $c in doc("ml")//MedlineCitation
+           where doc("ml")/MedlineCitationSet/MedlineCitation/Language = "ENG"
+           return $c/PMID"#,
+    );
+}
+
+#[test]
+fn element_construction_is_vectorized() {
+    let c = Corpus::new();
+    // Projection into a constructed element.
+    let out = c.check(
+        r#"for $c in doc("ml")//MedlineCitation
+           where $c/Language = "FRE"
+           return <cite>{$c/PMID}{$c/PubData/Year}</cite>"#,
+    );
+    let QueryOutput::Document(doc) = out else {
+        panic!("constructor must produce a document");
+    };
+    // The result is a VecDoc: vectors named by result paths, no DOM.
+    assert!(doc.vector("results/cite/PMID").is_some());
+    assert!(doc.vector("results/cite/Year").is_some());
+
+    // Deep element copies.
+    c.check(
+        r#"for $c in doc("ml")//MedlineCitation
+           where $c/PubData/Year = "1999"
+           return <r>{$c/Article}</r>"#,
+    );
+    // Copy of the bound element itself.
+    c.check(r#"for $p in doc("sky")//PhotoObj where $p/type = "6" return <o>{$p}</o>"#);
+    // Attribute copy attaches to the constructed element.
+    c.check(r#"for $i in doc("shop")//item return <it>{$i/@sku}{$i/name}</it>"#);
+    // Literal nested element plus descendant copy.
+    c.check(
+        r#"for $c in doc("ml")//MedlineCitation
+           where $c/Language = "GER"
+           return <r>{$c/PMID}<who>{$c//LastName}</who></r>"#,
+    );
+}
+
+#[test]
+fn nested_flwr_in_constructors() {
+    let c = Corpus::new();
+    // Nested loop over a child collection.
+    c.check(
+        r#"for $c in doc("ml")//MedlineCitation
+           where $c/Language = "GER"
+           return <r>{$c/PMID}<authors>{for $a in $c//Author return $a/LastName}</authors></r>"#,
+    );
+    // Correlated join inside a constructor block (outer variable in the
+    // inner where clause).
+    c.check(
+        r#"for $a in doc("ml")//MedlineCitation
+           where $a/Language = "ENG"
+           return <m>{$a/PMID}{for $b in doc("ml2")//MedlineCitation
+                               where $b/PubData/Year = $a/PubData/Year
+                               return $b/PMID}</m>"#,
+    );
+    // Nested constructor inside a nested block.
+    c.check(
+        r#"for $i in doc("shop")/shop/item
+           return <item>{$i/name}{for $t in $i/tag return <t>{$t}</t>}</item>"#,
+    );
+}
+
+#[test]
+fn empty_results_agree() {
+    let c = Corpus::new();
+    let none = c.values(r#"for $c in doc("ml")//NoSuchTag return $c/PMID"#);
+    assert!(none.is_empty());
+    let out = c.check(r#"for $c in doc("ml")//NoSuchTag return <r>{$c/x}</r>"#);
+    let QueryOutput::Document(doc) = out else {
+        panic!("constructor must produce a document");
+    };
+    assert_eq!(
+        write_document(&reconstruct(&doc).unwrap(), &WriteOptions::compact()),
+        "<results/>"
+    );
+}
+
+#[test]
+fn unsupported_constructs_are_structured() {
+    for (src, needle) in [
+        (
+            r#"for $x in doc("ml")//MedlineCitation return $x"#,
+            "whole-element return",
+        ),
+        (
+            r#"for $x in doc("ml")//MedlineCitation return doc("ml")/MedlineCitationSet"#,
+            "document-rooted return",
+        ),
+        (
+            r#"for $x in doc("ml")//MedlineCitation return <r>{$x/Article[Abstract]}</r>"#,
+            "qualifier in constructor content",
+        ),
+        (
+            r#"for $x in doc("ml")//MedlineCitation where $y/PMID = "1" return $x/PMID"#,
+            "unbound variable",
+        ),
+    ] {
+        match Query::new(src) {
+            Err(EngineError::Unsupported { construct, span }) => {
+                assert!(
+                    construct.contains(needle),
+                    "{src}: got {construct:?}, wanted {needle:?}"
+                );
+                assert!(span.is_some(), "{src}: span missing");
+            }
+            other => panic!("{src}: expected Unsupported, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_documents_are_reported() {
+    let c = Corpus::new();
+    let q = Query::new(r#"for $x in doc("nowhere")/a return $x/b"#).unwrap();
+    match q.run_corpus(&c.vecs()) {
+        Err(EngineError::UnknownDocument(name)) => assert_eq!(name, "nowhere"),
+        other => panic!("expected UnknownDocument, got {other:?}"),
+    }
+}
+
+#[test]
+fn query_handle_is_reusable_across_documents() {
+    let c = Corpus::new();
+    let q = Query::new(r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation return $c/PMID"#)
+        .unwrap();
+    // Same compiled query, two different stores (run() maps every doc
+    // name onto the given document).
+    let ml = &c.docs[0].2;
+    let ml2 = &c.docs[1].2;
+    let a = q.run(ml).unwrap();
+    let b = q.run(ml2).unwrap();
+    assert_eq!(a.strings().len(), 60);
+    assert_eq!(b.strings().len(), 40);
+}

@@ -10,7 +10,7 @@
 //!
 //! * [`Skeleton`] — the hash-consing arena ([`arena`]),
 //! * the binary `.vxsk` format, both a strict reader/writer and a lenient
-//!   salvage reader for damaged files ([`format`]),
+//!   salvage reader for damaged files ([`mod@format`]),
 //! * memoized path counts, per-binding occurrence layouts, and containment
 //!   maps used by the query engine ([`paths`]).
 
@@ -20,7 +20,7 @@ pub mod paths;
 
 pub use arena::{Edge, NameId, NodeId, Skeleton};
 pub use format::{read, read_lenient, write, RawSkeleton, SalvageReport};
-pub use paths::PathIndex;
+pub use paths::{PathIndex, PathPattern, PatternStep, PatternTest};
 
 use std::fmt;
 

@@ -139,6 +139,14 @@ impl<'a> PathIndex<'a> {
         order
     }
 
+    /// The memoized per-node layout: for each downward text path from
+    /// `node` (excluding `node`'s own name), its text occurrence count.
+    /// Lets the engine bulk-advance vector cursors over subtrees no
+    /// machine is alive in, without visiting them.
+    pub fn texts_below(&self, node: NodeId) -> &[(RelPath, u64)] {
+        &self.below[&node]
+    }
+
     /// Total text occurrences below `node` (any path).
     pub fn text_count(&self, node: NodeId) -> u64 {
         self.below[&node].iter().map(|(_, c)| c).sum()
@@ -224,6 +232,163 @@ impl<'a> PathIndex<'a> {
         }
     }
 
+    /// Per-occurrence *element* counts: for each occurrence of
+    /// `binding_path` (document order), the number of `rel`-path element
+    /// occurrences below it (`rel` empty counts the occurrence itself).
+    pub fn binding_element_counts(&self, binding_path: &[NameId], rel: &[NameId]) -> Vec<u64> {
+        let mut out = Vec::new();
+        let root_name = self.skeleton.node(self.root).name;
+        let mut memo = HashMap::new();
+        if let Some((&first, rest)) = binding_path.split_first() {
+            if root_name == Some(first) {
+                self.walk_element_counts(self.root, rest, rel, 1, &mut memo, &mut out);
+            }
+        }
+        out
+    }
+
+    fn count_elements(
+        &self,
+        node: NodeId,
+        rel: &[NameId],
+        memo: &mut HashMap<(NodeId, Vec<NameId>), u64>,
+    ) -> u64 {
+        match rel.split_first() {
+            None => 1,
+            Some((&next, tail)) => {
+                let key = (node, rel.to_vec());
+                if let Some(&v) = memo.get(&key) {
+                    return v;
+                }
+                let mut total = 0;
+                for edge in &self.skeleton.node(node).edges {
+                    if self.skeleton.node(edge.child).name == Some(next) {
+                        total += edge.run * self.count_elements(edge.child, tail, memo);
+                    }
+                }
+                memo.insert(key, total);
+                total
+            }
+        }
+    }
+
+    fn walk_element_counts(
+        &self,
+        node: NodeId,
+        rest: &[NameId],
+        rel: &[NameId],
+        repeat: u64,
+        memo: &mut HashMap<(NodeId, Vec<NameId>), u64>,
+        out: &mut Vec<u64>,
+    ) {
+        match rest.split_first() {
+            None => {
+                let c = self.count_elements(node, rel, memo);
+                for _ in 0..repeat {
+                    out.push(c);
+                }
+            }
+            Some((&next, tail)) => {
+                for edge in &self.skeleton.node(node).edges {
+                    if self.skeleton.node(edge.child).name == Some(next) {
+                        self.walk_element_counts(edge.child, tail, rel, edge.run, memo, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Expands a [`PathPattern`] (wildcards, descendant steps) into the
+    /// set of concrete element tag paths — starting with the root's tag —
+    /// that occur in this document, in first-occurrence document order.
+    /// The paper resolves `*` and `//` against the structure summary, not
+    /// the data; this is that resolution over the hash-consed skeleton.
+    pub fn expand_pattern(&self, pattern: &PathPattern) -> Vec<RelPath> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<RelPath> = HashSet::new();
+        let root_name = match self.skeleton.node(self.root).name {
+            Some(n) => n,
+            None => return out,
+        };
+        // The pattern's first step must match the root element.
+        let states = pattern.advance(PathPattern::START, root_name, self.skeleton.name(root_name));
+        if states == 0 {
+            return out;
+        }
+        let mut prefix = vec![root_name];
+        let mut visited: HashSet<(NodeId, u64, RelPath)> = HashSet::new();
+        self.expand_walk(
+            self.root,
+            pattern,
+            states,
+            &mut prefix,
+            &mut seen,
+            &mut visited,
+            &mut out,
+        );
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand_walk(
+        &self,
+        node: NodeId,
+        pattern: &PathPattern,
+        states: u64,
+        prefix: &mut RelPath,
+        seen: &mut HashSet<RelPath>,
+        visited: &mut HashSet<(NodeId, u64, RelPath)>,
+        out: &mut Vec<RelPath>,
+    ) {
+        if pattern.accepts(states) && seen.insert(prefix.clone()) {
+            out.push(prefix.clone());
+        }
+        for edge in &self.skeleton.node(node).edges {
+            let child = self.skeleton.node(edge.child);
+            let name = match child.name {
+                Some(n) => n,
+                None => continue,
+            };
+            let next = pattern.advance(states, name, self.skeleton.name(name));
+            if next == 0 {
+                continue;
+            }
+            prefix.push(name);
+            if visited.insert((edge.child, next, prefix.clone())) {
+                self.expand_walk(edge.child, pattern, next, prefix, seen, visited, out);
+            }
+            prefix.pop();
+        }
+    }
+
+    /// Memoized containment sets: for every DAG node reachable from the
+    /// root, the set of tag names occurring strictly below it. One shared
+    /// computation for the whole DAG (unlike [`PathIndex::containment`],
+    /// which answers for a single node).
+    pub fn reachable_names(&self) -> HashMap<NodeId, HashSet<NameId>> {
+        let mut memo: HashMap<NodeId, HashSet<NameId>> = HashMap::new();
+        fn go(
+            s: &Skeleton,
+            node: NodeId,
+            memo: &mut HashMap<NodeId, HashSet<NameId>>,
+        ) -> HashSet<NameId> {
+            if let Some(v) = memo.get(&node) {
+                return v.clone();
+            }
+            let mut tags: HashSet<NameId> = HashSet::new();
+            for edge in &s.node(node).edges {
+                if let Some(n) = s.node(edge.child).name {
+                    tags.insert(n);
+                }
+                tags.extend(go(s, edge.child, memo));
+            }
+            memo.insert(node, tags.clone());
+            tags
+        }
+        go(self.skeleton, self.root, &mut memo);
+        memo
+    }
+
     /// Containment map: the set of tag names reachable strictly below
     /// `node`. Used by the engine to prune impossible paths early.
     pub fn containment(&self, node: NodeId) -> Vec<NameId> {
@@ -245,6 +410,113 @@ impl<'a> PathIndex<'a> {
             tags
         }
         go(self.skeleton, node, &mut memo)
+    }
+}
+
+/// A step test in a [`PathPattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternTest {
+    /// A concrete tag. `None` means the tag does not occur in this
+    /// skeleton's name table at all, so the step can never match.
+    Name(Option<NameId>),
+    /// `*` — any element tag except the synthetic `@attr` names.
+    Any,
+}
+
+/// One step of a path pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternStep {
+    /// `true` for `//` (the step may match at any depth below the
+    /// previous match), `false` for `/` (direct children only).
+    pub descend: bool,
+    pub test: PatternTest,
+}
+
+/// A downward path pattern over element tags — the XQ[*,//] step
+/// language. Matching is a tiny NFA whose state set is a bitmask of
+/// "first `i` steps matched" positions (so patterns are limited to 63
+/// steps, far beyond any real query).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPattern {
+    steps: Vec<PatternStep>,
+}
+
+impl PathPattern {
+    /// The state mask before any element has been consumed.
+    pub const START: u64 = 1;
+
+    /// Maximum number of steps (bitmask representation).
+    pub const MAX_STEPS: usize = 63;
+
+    pub fn new(steps: Vec<PatternStep>) -> Option<Self> {
+        (steps.len() <= Self::MAX_STEPS).then_some(PathPattern { steps })
+    }
+
+    pub fn steps(&self) -> &[PatternStep] {
+        &self.steps
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// True when `states` contains the final (fully-matched) position.
+    pub fn accepts(&self, states: u64) -> bool {
+        states & (1u64 << self.steps.len()) != 0
+    }
+
+    /// Transition: the state set after descending into a child element
+    /// named `name` (`name_str` is its spelled-out tag, used to keep `*`
+    /// from matching the synthetic `@attr` encoding). Zero means the
+    /// subtree below can no longer contribute a match.
+    pub fn advance(&self, states: u64, name: NameId, name_str: &str) -> u64 {
+        let mut next = 0u64;
+        for i in 0..=self.steps.len() {
+            if states & (1u64 << i) == 0 {
+                continue;
+            }
+            if let Some(step) = self.steps.get(i) {
+                if step.descend {
+                    // `//`: the search may keep descending past this
+                    // element without consuming the step.
+                    next |= 1u64 << i;
+                }
+                let hit = match step.test {
+                    PatternTest::Name(Some(id)) => id == name,
+                    PatternTest::Name(None) => false,
+                    PatternTest::Any => !name_str.starts_with('@'),
+                };
+                if hit {
+                    next |= 1u64 << (i + 1);
+                }
+            }
+        }
+        next
+    }
+
+    /// Whether a concrete downward tag path matches the whole pattern.
+    pub fn matches(&self, path: &[NameId], skeleton: &Skeleton) -> bool {
+        let mut states = Self::START;
+        for &name in path {
+            states = self.advance(states, name, skeleton.name(name));
+            if states == 0 {
+                return false;
+            }
+        }
+        self.accepts(states)
+    }
+
+    /// Whether a concrete path could be extended to match: some state is
+    /// still alive after consuming `path`. Used for prefix pruning.
+    pub fn matches_prefix(&self, path: &[NameId], skeleton: &Skeleton) -> bool {
+        let mut states = Self::START;
+        for &name in path {
+            states = self.advance(states, name, skeleton.name(name));
+            if states == 0 {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -306,6 +578,90 @@ mod tests {
             vec![2, 2]
         );
         assert_eq!(index.binding_text_counts(&[lib], &[book, author]), vec![4]);
+    }
+
+    fn pat(skeleton: &Skeleton, spec: &[(bool, Option<&str>)]) -> PathPattern {
+        PathPattern::new(
+            spec.iter()
+                .map(|&(descend, name)| PatternStep {
+                    descend,
+                    test: match name {
+                        Some(n) => PatternTest::Name(skeleton.name_id(n)),
+                        None => PatternTest::Any,
+                    },
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expand_pattern_resolves_wildcard_and_descendant() {
+        let (s, root, names) = sample();
+        let index = PathIndex::new(&s, root);
+        let (lib, book, title, author, note) = (names[0], names[1], names[2], names[3], names[4]);
+
+        // lib/* — every child tag of the root.
+        let p = pat(&s, &[(false, Some("lib")), (false, None)]);
+        assert_eq!(
+            index.expand_pattern(&p),
+            vec![vec![lib, book], vec![lib, note]]
+        );
+
+        // //author — authors anywhere.
+        let p = pat(&s, &[(true, Some("author"))]);
+        assert_eq!(index.expand_pattern(&p), vec![vec![lib, book, author]]);
+
+        // lib//* — all strict descendants of the root.
+        let p = pat(&s, &[(false, Some("lib")), (true, None)]);
+        assert_eq!(
+            index.expand_pattern(&p),
+            vec![
+                vec![lib, book],
+                vec![lib, book, title],
+                vec![lib, book, author],
+                vec![lib, note],
+            ]
+        );
+
+        // A tag absent from the document expands to nothing.
+        let p = pat(&s, &[(true, Some("absent-tag"))]);
+        assert_eq!(index.expand_pattern(&p), Vec::<RelPath>::new());
+    }
+
+    #[test]
+    fn pattern_matches_concrete_paths() {
+        let (s, root, names) = sample();
+        let _ = root;
+        let (lib, book, author) = (names[0], names[1], names[3]);
+        let p = pat(&s, &[(false, Some("lib")), (true, Some("author"))]);
+        assert!(p.matches(&[lib, book, author], &s));
+        assert!(!p.matches(&[lib, book], &s));
+        assert!(p.matches_prefix(&[lib, book], &s));
+        assert!(!p.matches_prefix(&[book], &s));
+    }
+
+    #[test]
+    fn binding_element_counts_expand_runs() {
+        let (s, root, names) = sample();
+        let index = PathIndex::new(&s, root);
+        let (lib, book, author) = (names[0], names[1], names[3]);
+        assert_eq!(
+            index.binding_element_counts(&[lib, book], &[author]),
+            vec![2, 2]
+        );
+        assert_eq!(index.binding_element_counts(&[lib, book], &[]), vec![1, 1]);
+    }
+
+    #[test]
+    fn reachable_names_cover_the_dag() {
+        let (s, root, names) = sample();
+        let index = PathIndex::new(&s, root);
+        let map = index.reachable_names();
+        let below_root = &map[&root];
+        assert!(below_root.contains(&names[1]));
+        assert!(below_root.contains(&names[3]));
+        assert!(!below_root.contains(&names[0]));
     }
 
     #[test]

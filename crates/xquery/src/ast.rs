@@ -2,12 +2,25 @@
 
 use std::fmt;
 
+/// A byte range in the query source, for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+}
+
 /// A complete `for … where … return …` query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
     pub bindings: Vec<Binding>,
     pub conditions: Vec<Condition>,
-    pub ret: PathExpr,
+    pub ret: ReturnExpr,
 }
 
 /// `$var in path`.
@@ -31,6 +44,9 @@ pub enum Root {
 pub struct PathExpr {
     pub root: Root,
     pub steps: Vec<Step>,
+    /// Byte range of the path in the query source (zero for synthesized
+    /// paths that carry no source location).
+    pub span: Span,
 }
 
 impl PathExpr {
@@ -38,6 +54,7 @@ impl PathExpr {
         PathExpr {
             root: Root::Var(name.into()),
             steps: Vec::new(),
+            span: Span::default(),
         }
     }
 
@@ -115,6 +132,36 @@ pub enum Operand {
     Path(PathExpr),
 }
 
+/// What the `return` clause produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReturnExpr {
+    /// `return $x/p` — the text values at the path (one flat sequence).
+    Path(PathExpr),
+    /// `return <r>{…}…</r>` — a constructed element per binding tuple.
+    Element(ElemConstructor),
+}
+
+/// `<tag> content* </tag>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElemConstructor {
+    pub tag: String,
+    pub content: Vec<Content>,
+    pub span: Span,
+}
+
+/// One content item of an element constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// `{$x/p}` — deep copies of the elements (or attributes) the path
+    /// addresses, in document order.
+    Path(PathExpr),
+    /// A nested constructor.
+    Element(ElemConstructor),
+    /// `{for … return …}` — a nested FLWR evaluated per outer tuple;
+    /// its bindings may reference outer variables.
+    Query(Box<Query>),
+}
+
 impl fmt::Display for PathExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.root {
@@ -136,5 +183,28 @@ impl fmt::Display for PathExpr {
             }
         }
         Ok(())
+    }
+}
+
+impl fmt::Display for ReturnExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReturnExpr::Path(p) => write!(f, "{p}"),
+            ReturnExpr::Element(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl fmt::Display for ElemConstructor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.tag)?;
+        for item in &self.content {
+            match item {
+                Content::Path(p) => write!(f, "{{{p}}}")?,
+                Content::Element(e) => write!(f, "{e}")?,
+                Content::Query(_) => write!(f, "{{for …}}")?,
+            }
+        }
+        write!(f, "</{}>", self.tag)
     }
 }

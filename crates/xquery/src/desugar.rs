@@ -19,12 +19,21 @@
 use crate::ast::*;
 
 /// Rewrites `query` into an equivalent query with no qualifiers.
+///
+/// Nested FLWRs in constructor content desugar recursively (into their
+/// own binding lists). Plain constructor-content paths are left alone:
+/// hoisting a content qualifier into the outer `for` would multiply the
+/// tuple count, so the compiler rejects qualifiers there instead.
 pub fn desugar(query: &Query) -> Query {
     let mut fresh = FreshVars::new(query);
+    desugar_query(query, &mut fresh)
+}
+
+fn desugar_query(query: &Query, fresh: &mut FreshVars) -> Query {
     let mut bindings = Vec::new();
     let mut conditions = Vec::new();
     for binding in &query.bindings {
-        let path = desugar_path(&binding.path, &mut bindings, &mut conditions, &mut fresh);
+        let path = desugar_path(&binding.path, &mut bindings, &mut conditions, fresh);
         bindings.push(Binding {
             var: binding.var.clone(),
             path,
@@ -33,14 +42,14 @@ pub fn desugar(query: &Query) -> Query {
     for condition in &query.conditions {
         let rewritten = match condition {
             Condition::Exists(p) => {
-                Condition::Exists(desugar_path(p, &mut bindings, &mut conditions, &mut fresh))
+                Condition::Exists(desugar_path(p, &mut bindings, &mut conditions, fresh))
             }
             Condition::Eq(left, right) => {
-                let left = desugar_path(left, &mut bindings, &mut conditions, &mut fresh);
+                let left = desugar_path(left, &mut bindings, &mut conditions, fresh);
                 let right = match right {
                     Operand::Literal(l) => Operand::Literal(l.clone()),
                     Operand::Path(p) => {
-                        Operand::Path(desugar_path(p, &mut bindings, &mut conditions, &mut fresh))
+                        Operand::Path(desugar_path(p, &mut bindings, &mut conditions, fresh))
                     }
                 };
                 Condition::Eq(left, right)
@@ -48,11 +57,32 @@ pub fn desugar(query: &Query) -> Query {
         };
         conditions.push(rewritten);
     }
-    let ret = desugar_path(&query.ret, &mut bindings, &mut conditions, &mut fresh);
+    let ret = match &query.ret {
+        ReturnExpr::Path(p) => {
+            ReturnExpr::Path(desugar_path(p, &mut bindings, &mut conditions, fresh))
+        }
+        ReturnExpr::Element(c) => ReturnExpr::Element(desugar_constructor(c, fresh)),
+    };
     Query {
         bindings,
         conditions,
         ret,
+    }
+}
+
+fn desugar_constructor(c: &ElemConstructor, fresh: &mut FreshVars) -> ElemConstructor {
+    ElemConstructor {
+        tag: c.tag.clone(),
+        content: c
+            .content
+            .iter()
+            .map(|item| match item {
+                Content::Path(p) => Content::Path(p.clone()),
+                Content::Element(e) => Content::Element(desugar_constructor(e, fresh)),
+                Content::Query(q) => Content::Query(Box::new(desugar_query(q, fresh))),
+            })
+            .collect(),
+        span: c.span,
     }
 }
 
@@ -83,6 +113,7 @@ fn desugar_path(
             path: PathExpr {
                 root: root.clone(),
                 steps: std::mem::take(&mut pending),
+                span: path.span,
             },
         });
         root = Root::Var(var.clone());
@@ -96,6 +127,7 @@ fn desugar_path(
                 &PathExpr {
                     root: Root::Var(var.clone()),
                     steps: rel.clone(),
+                    span: path.span,
                 },
                 bindings,
                 conditions,
@@ -110,6 +142,7 @@ fn desugar_path(
     PathExpr {
         root,
         steps: pending,
+        span: path.span,
     }
 }
 
@@ -122,9 +155,7 @@ struct FreshVars {
 impl FreshVars {
     fn new(query: &Query) -> Self {
         let mut used = std::collections::HashSet::new();
-        for b in &query.bindings {
-            used.insert(b.var.clone());
-        }
+        collect_var_names(query, &mut used);
         FreshVars { used, next: 0 }
     }
 
@@ -140,7 +171,28 @@ impl FreshVars {
     }
 }
 
-/// True when no qualifier remains anywhere in the query.
+/// Binding names of the query and every nested FLWR.
+fn collect_var_names(query: &Query, used: &mut std::collections::HashSet<String>) {
+    for b in &query.bindings {
+        used.insert(b.var.clone());
+    }
+    if let ReturnExpr::Element(c) = &query.ret {
+        collect_constructor_names(c, used);
+    }
+}
+
+fn collect_constructor_names(c: &ElemConstructor, used: &mut std::collections::HashSet<String>) {
+    for item in &c.content {
+        match item {
+            Content::Path(_) => {}
+            Content::Element(e) => collect_constructor_names(e, used),
+            Content::Query(q) => collect_var_names(q, used),
+        }
+    }
+}
+
+/// True when no qualifier remains anywhere in the query (including
+/// constructor content and nested FLWRs).
 pub fn is_fully_desugared(query: &Query) -> bool {
     let path_ok = |p: &PathExpr| p.is_desugared();
     query.bindings.iter().all(|b| path_ok(&b.path))
@@ -149,7 +201,18 @@ pub fn is_fully_desugared(query: &Query) -> bool {
             Condition::Eq(l, Operand::Path(r)) => path_ok(l) && path_ok(r),
             Condition::Eq(l, Operand::Literal(_)) => path_ok(l),
         })
-        && path_ok(&query.ret)
+        && match &query.ret {
+            ReturnExpr::Path(p) => path_ok(p),
+            ReturnExpr::Element(c) => constructor_desugared(c),
+        }
+}
+
+fn constructor_desugared(c: &ElemConstructor) -> bool {
+    c.content.iter().all(|item| match item {
+        Content::Path(p) => p.is_desugared(),
+        Content::Element(e) => constructor_desugared(e),
+        Content::Query(q) => is_fully_desugared(q),
+    })
 }
 
 #[cfg(test)]

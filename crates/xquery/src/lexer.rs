@@ -26,6 +26,14 @@ pub enum Token {
     RBracket,
     LParen,
     RParen,
+    LBrace,
+    RBrace,
+    /// `<` opening an element constructor.
+    LAngle,
+    /// `</` opening a constructor's closing tag.
+    LAngleSlash,
+    /// `>` closing a constructor tag.
+    RAngle,
     Comma,
     Equals,
     Eof,
@@ -86,6 +94,27 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
             b'=' => {
                 pos += 1;
                 Token::Equals
+            }
+            b'{' => {
+                pos += 1;
+                Token::LBrace
+            }
+            b'}' => {
+                pos += 1;
+                Token::RBrace
+            }
+            b'<' => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'/') {
+                    pos += 1;
+                    Token::LAngleSlash
+                } else {
+                    Token::LAngle
+                }
+            }
+            b'>' => {
+                pos += 1;
+                Token::RAngle
             }
             b'$' => {
                 pos += 1;
@@ -218,5 +247,26 @@ mod tests {
         assert!(tokenize("for $ in x").is_err());
         assert!(tokenize("\"unterminated").is_err());
         assert!(tokenize("a ; b").is_err());
+    }
+
+    #[test]
+    fn tokenizes_constructor_delimiters() {
+        let toks = tokenize("<r>{$x}</r>").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|s| s.token).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Token::LAngle,
+                Token::Name("r".into()),
+                Token::RAngle,
+                Token::LBrace,
+                Token::Var("x".into()),
+                Token::RBrace,
+                Token::LAngleSlash,
+                Token::Name("r".into()),
+                Token::RAngle,
+                Token::Eof,
+            ]
+        );
     }
 }

@@ -5,16 +5,22 @@
 //! ```text
 //! query    := "for" binding ("," binding)*
 //!             ("where" cond ("and" cond)*)?
-//!             "return" path
+//!             "return" ret
 //! binding  := $var "in" path
 //! path     := ( doc("name") | $var ) step*
 //! step     := "/" name | "//" name | "/" "*" | step "[" qual "]"
 //! qual     := relpath | relpath "=" literal
+//! cond     := path "=" literal | path "=" path | "exists" "(" path ")"
+//! ret      := path | elem
+//! elem     := "<" name ">" content* "</" name ">"
+//! content  := "{" path "}" | "{" query "}" | elem
 //! ```
 //!
 //! `//` (descendant-or-self) and `*` (wildcard) form the XQ[*,//]
-//! extension; the parser accepts them and the engine decides what it
-//! supports. Qualifiers are syntactic sugar: [`desugar`] rewrites
+//! extension, `path = path` conditions are equality (join) edges, and
+//! element constructors with nested FLWRs form the result-skeleton
+//! extension; the parser accepts all of them and the engine decides what
+//! it supports. Qualifiers are syntactic sugar: [`desugar`] rewrites
 //! `$x in P[q]/R` into fresh-variable bindings plus `where` conjuncts,
 //! after which no qualifier remains (the form the query-graph compiler
 //! consumes).
@@ -25,7 +31,8 @@ mod lexer;
 mod parser;
 
 pub use ast::{
-    Axis, Binding, Condition, NameTest, Operand, PathExpr, Qualifier, Query, Root, Step,
+    Axis, Binding, Condition, Content, ElemConstructor, NameTest, Operand, PathExpr, Qualifier,
+    Query, ReturnExpr, Root, Span, Step,
 };
 pub use desugar::{desugar, is_fully_desugared};
 pub use parser::parse_query;

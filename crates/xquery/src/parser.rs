@@ -68,11 +68,70 @@ impl Parser {
             }
         }
         self.expect(&Token::Return)?;
-        let ret = self.path()?;
+        let ret = self.return_expr()?;
         Ok(Query {
             bindings,
             conditions,
             ret,
+        })
+    }
+
+    /// `return` body: a path or an element constructor.
+    fn return_expr(&mut self) -> Result<ReturnExpr> {
+        if self.peek() == &Token::LAngle {
+            Ok(ReturnExpr::Element(self.constructor()?))
+        } else {
+            Ok(ReturnExpr::Path(self.path()?))
+        }
+    }
+
+    /// `<tag> content* </tag>`; content is `{path}`, `{for … return …}`,
+    /// or a nested constructor. Literal text content is out of the
+    /// grammar (XQ constructs documents from queried values only).
+    fn constructor(&mut self) -> Result<ElemConstructor> {
+        let start = self.offset();
+        self.expect(&Token::LAngle)?;
+        let tag = match self.bump() {
+            Token::Name(n) => n,
+            other => return Err(self.err(format!("expected constructor tag, found {other:?}"))),
+        };
+        self.expect(&Token::RAngle)?;
+        let mut content = Vec::new();
+        loop {
+            match self.peek() {
+                Token::LAngle => content.push(Content::Element(self.constructor()?)),
+                Token::LBrace => {
+                    self.bump();
+                    if self.peek() == &Token::For {
+                        content.push(Content::Query(Box::new(self.query()?)));
+                    } else {
+                        content.push(Content::Path(self.path()?));
+                    }
+                    self.expect(&Token::RBrace)?;
+                }
+                Token::LAngleSlash => break,
+                other => {
+                    return Err(self.err(format!(
+                        "expected `{{`, nested constructor, or `</{tag}>`, found {other:?}"
+                    )))
+                }
+            }
+        }
+        self.expect(&Token::LAngleSlash)?;
+        match self.bump() {
+            Token::Name(n) if n == tag => {}
+            other => {
+                return Err(self.err(format!(
+                    "constructor `<{tag}>` closed by {other:?}, expected `</{tag}>`"
+                )))
+            }
+        }
+        let end = self.offset();
+        self.expect(&Token::RAngle)?;
+        Ok(ElemConstructor {
+            tag,
+            content,
+            span: Span::new(start, end),
         })
     }
 
@@ -87,6 +146,7 @@ impl Parser {
     }
 
     fn path(&mut self) -> Result<PathExpr> {
+        let start = self.offset();
         let root = match self.bump() {
             Token::Doc => {
                 self.expect(&Token::LParen)?;
@@ -103,7 +163,12 @@ impl Parser {
             other => return Err(self.err(format!("expected doc(\"…\") or $var, found {other:?}"))),
         };
         let steps = self.steps()?;
-        Ok(PathExpr { root, steps })
+        let end = self.offset();
+        Ok(PathExpr {
+            root,
+            steps,
+            span: Span::new(start, end),
+        })
     }
 
     /// Zero or more `/name`, `//name`, `/*` steps with qualifiers.
@@ -231,7 +296,56 @@ mod tests {
             Condition::Eq(_, Operand::Path(_))
         ));
         assert!(matches!(&q.conditions[1], Condition::Exists(_)));
-        assert_eq!(q.ret.steps[0].test, NameTest::Any);
+        match &q.ret {
+            ReturnExpr::Path(p) => assert_eq!(p.steps[0].test, NameTest::Any),
+            other => panic!("expected path return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_element_constructors() {
+        let q = parse_query(
+            r#"for $x in doc("d")/a, $y in doc("e")/b
+               where $x/k = $y/k
+               return <r>{$x/v}<inner>{$y//w}</inner>{for $z in $x/c return $z/t}</r>"#,
+        )
+        .unwrap();
+        let c = match &q.ret {
+            ReturnExpr::Element(c) => c,
+            other => panic!("expected constructor, got {other:?}"),
+        };
+        assert_eq!(c.tag, "r");
+        assert_eq!(c.content.len(), 3);
+        assert!(matches!(&c.content[0], Content::Path(_)));
+        match &c.content[1] {
+            Content::Element(inner) => {
+                assert_eq!(inner.tag, "inner");
+                assert!(matches!(&inner.content[0], Content::Path(_)));
+            }
+            other => panic!("expected nested constructor, got {other:?}"),
+        }
+        match &c.content[2] {
+            Content::Query(nested) => {
+                assert_eq!(nested.bindings[0].var, "z");
+                assert_eq!(format!("{}", nested.ret), "$z/t");
+            }
+            other => panic!("expected nested FLWR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paths_carry_spans() {
+        let src = r#"for $x in doc("d")/a//b return $x/c"#;
+        let q = parse_query(src).unwrap();
+        let span = q.bindings[0].path.span;
+        assert_eq!(&src[span.start..span.start + 8], r#"doc("d")"#);
+        assert!(span.end > span.start);
+    }
+
+    #[test]
+    fn rejects_mismatched_constructor_tags() {
+        assert!(parse_query(r#"for $x in doc("d")/a return <r>{$x/v}</s>"#).is_err());
+        assert!(parse_query(r#"for $x in doc("d")/a return <r>text</r>"#).is_err());
     }
 
     #[test]

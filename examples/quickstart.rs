@@ -2,6 +2,7 @@
 //! query. Run with `cargo run --example quickstart`.
 
 use xmlvec::core::{reconstruct, vectorize, Compaction, Store};
+use xmlvec::{Query, QueryOutput};
 
 fn main() -> xmlvec::Result<()> {
     // 1. Parse a small MedLine-shaped document.
@@ -51,15 +52,32 @@ fn main() -> xmlvec::Result<()> {
     assert_eq!(back.root, document.root);
     println!("reconstruction is lossless");
 
-    // 5. Evaluate an XQ selection against the vectors — no tree rebuild.
-    let results = xmlvec::query(
-        &reloaded,
+    // 5. Compile an XQ selection once, evaluate it against the vectors —
+    // no tree rebuild.
+    let select = Query::new(
         r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation
            where $c/Language = "ENG"
            return $c/PMID"#,
     )?;
+    let results = select.run(&reloaded)?.strings();
     println!("English-language PMIDs: {results:?}");
     assert_eq!(results, vec!["10000001", "10000003"]);
+
+    // 6. Element construction stays vectorized: the result is itself a
+    // VEC(T), reconstructed to XML only on demand.
+    let build = Query::new(
+        r#"for $c in doc("ml")//MedlineCitation
+           where $c/Language = "ENG"
+           return <cite>{$c/PMID}{$c/Article/ArticleTitle}</cite>"#,
+    )?;
+    let out = build.run(&reloaded)?;
+    if let QueryOutput::Document(vd) = &out {
+        println!(
+            "constructed result has {} vectors (e.g. results/cite/PMID)",
+            vd.vectors().len()
+        );
+    }
+    println!("constructed XML: {}", out.to_xml()?);
 
     std::fs::remove_dir_all(&dir)?;
     Ok(())

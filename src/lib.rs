@@ -15,24 +15,25 @@
 //!
 //! | crate | layer |
 //! |---|---|
-//! | [`vx_xml`](xml) | XML 1.0 parser, DOM, writer |
-//! | [`vx_storage`](storage) | varints, paged file access |
-//! | [`vx_skeleton`](skeleton) | hash-consed DAG, `.vxsk` format, path index |
-//! | [`vx_vector`](vector) | `.vec` format, skip index, cursors |
-//! | [`vx_core`](core) | vectorize / reconstruct, persistent store |
-//! | [`vx_xquery`](xquery) | XQ parsing + desugaring |
-//! | [`vx_engine`](engine) | query graphs, vectorized `reduce`, oracle |
-//! | [`vx_baselines`](baselines) | comparison-system interface (stubs) |
-//! | [`vx_data`](data) | deterministic corpus generators |
-//! | [`vx_bench`](bench) | store size measurement |
+//! | [`vx_xml`] | XML 1.0 parser, DOM, writer |
+//! | [`vx_storage`] | varints, paged file access |
+//! | [`vx_skeleton`] | hash-consed DAG, `.vxsk` format, path index |
+//! | [`vx_vector`] | `.vec` format, skip index, cursors |
+//! | [`vx_core`] | vectorize / reconstruct, persistent store |
+//! | [`vx_xquery`] | XQ parsing + desugaring |
+//! | [`vx_engine`] | query graphs, vectorized `reduce`, oracle |
+//! | [`vx_baselines`] | comparison-system interface (stubs) |
+//! | [`vx_data`] | deterministic corpus generators |
+//! | [`vx_bench`] | store size measurement |
 //!
 //! Quick start (`examples/quickstart.rs` runs the full loop):
 //!
 //! ```
+//! use xmlvec::Query;
 //! let doc = xmlvec::xml::parse("<r><e><k>a</k></e><e><k>b</k></e></r>")?;
 //! let vec_doc = xmlvec::core::vectorize(&doc)?;
-//! let ks = xmlvec::query(&vec_doc, r#"for $e in doc("d")/r/e return $e/k"#)?;
-//! assert_eq!(ks, ["a", "b"]);
+//! let q = Query::new(r#"for $e in doc("d")/r/e return $e/k"#)?;
+//! assert_eq!(q.run(&vec_doc)?.strings(), ["a", "b"]);
 //! # Ok::<(), xmlvec::Error>(())
 //! ```
 
@@ -46,6 +47,8 @@ pub use vx_storage as storage;
 pub use vx_vector as vector;
 pub use vx_xml as xml;
 pub use vx_xquery as xquery;
+
+pub use vx_engine::{Query, QueryOutput};
 
 use std::fmt;
 
@@ -133,25 +136,50 @@ pub fn to_xml(doc: &vx_core::VecDoc) -> Result<String> {
     ))
 }
 
-/// Runs an XQ query against a vectorized document.
+/// Runs an XQ query against a vectorized document, flattening the
+/// output to lossy strings.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `xmlvec::Query::new(xq)?.run(doc)` to keep the compiled \
+            query and the structured `QueryOutput`"
+)]
 pub fn query(doc: &vx_core::VecDoc, xq: &str) -> Result<Vec<String>> {
-    Ok(vx_engine::run(doc, xq)?)
+    Ok(Query::new(xq)?.run(doc)?.strings())
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::{Query, QueryOutput};
+
     #[test]
     fn facade_round_trip_and_query() {
         let xml = "<r><e><k>a</k></e><e><k>b</k></e></r>";
         let doc = crate::vectorize_str(xml).unwrap();
         assert_eq!(crate::to_xml(&doc).unwrap(), xml);
+        let q = Query::new(r#"for $e in doc("d")/r/e where $e/k = "b" return $e/k"#).unwrap();
+        assert_eq!(q.run(&doc).unwrap().strings(), vec!["b"]);
+    }
+
+    #[test]
+    fn facade_constructor_output_is_vectorized() {
+        let doc = crate::vectorize_str("<r><e><k>a</k></e><e><k>b</k></e></r>").unwrap();
+        let q = Query::new(r#"for $e in doc("d")/r/e return <row>{$e/k}</row>"#).unwrap();
+        let out = q.run(&doc).unwrap();
+        let QueryOutput::Document(vd) = &out else {
+            panic!("expected a vectorized document");
+        };
+        assert!(vd.vector("results/row/k").is_some());
         assert_eq!(
-            crate::query(
-                &doc,
-                r#"for $e in doc("d")/r/e where $e/k = "b" return $e/k"#
-            )
-            .unwrap(),
-            vec!["b"]
+            out.to_xml().unwrap(),
+            "<results><row><k>a</k></row><row><k>b</k></row></results>"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_answers() {
+        let doc = crate::vectorize_str("<r><e><k>a</k></e></r>").unwrap();
+        let out = crate::query(&doc, r#"for $e in doc("d")/r/e return $e/k"#).unwrap();
+        assert_eq!(out, vec!["a"]);
     }
 }
