@@ -2,12 +2,14 @@
 //!
 //! Produced the checked-in `bench_results/` (stores built from MedLine-
 //! and SkyServer-shaped corpora at several sizes). This build carries
-//! only the pieces the rest of the workspace needs: size accounting for
-//! a store directory and a stopwatch-free summary type — timing runs and
-//! plots return in a later PR (see ROADMAP.md).
+//! size accounting for a store directory plus the ingest-throughput
+//! stopwatch behind the `bench_ingest` binary (which emits
+//! `BENCH_ingest.json`); query-side timing and plots return in a later
+//! PR (see ROADMAP.md).
 
 use std::path::Path;
-use vx_core::{CoreError, Store};
+use std::time::Instant;
+use vx_core::{CoreError, IngestOptions, Store};
 
 /// Size breakdown of one persisted store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +62,54 @@ pub fn build_and_measure(
     StoreSizes::measure(dir).map_err(CoreError::Io)
 }
 
+/// Wall-clock comparison of the two ingest paths over one XML text.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestTiming {
+    /// Bytes of the XML input text.
+    pub input_bytes: u64,
+    /// Best-of-`iters` seconds for `parse` + `vectorize` + `Store::save`.
+    pub dom_secs: f64,
+    /// Best-of-`iters` seconds for `Store::ingest_stream`.
+    pub stream_secs: f64,
+    /// Spill pages the streaming path allocated (0 = fit in tail pages).
+    pub spill_pages: u64,
+}
+
+/// Times both ingest paths over `xml`, best of `iters` runs each, building
+/// into `dir/dom` and `dir/stream`. Each iteration rebuilds from scratch;
+/// timings include all store I/O, matching how the paper reports
+/// vectorization cost (input to durable store).
+pub fn time_ingest(dir: &Path, xml: &str, iters: u32) -> Result<IngestTiming, CoreError> {
+    let iters = iters.max(1);
+    let dom_dir = dir.join("dom");
+    let stream_dir = dir.join("stream");
+    let options = IngestOptions::default();
+
+    let mut dom_secs = f64::INFINITY;
+    let mut stream_secs = f64::INFINITY;
+    let mut spill_pages = 0;
+    for _ in 0..iters {
+        let _ = std::fs::remove_dir_all(&dom_dir);
+        let start = Instant::now();
+        let doc = vx_xml::parse(xml)?;
+        let vec_doc = vx_core::vectorize(&doc)?;
+        Store::save(&dom_dir, &vec_doc, vx_core::Compaction::None)?;
+        dom_secs = dom_secs.min(start.elapsed().as_secs_f64());
+
+        let _ = std::fs::remove_dir_all(&stream_dir);
+        let start = Instant::now();
+        let report = Store::ingest_stream(&stream_dir, xml.as_bytes(), &options)?;
+        stream_secs = stream_secs.min(start.elapsed().as_secs_f64());
+        spill_pages = report.spill_pages;
+    }
+    Ok(IngestTiming {
+        input_bytes: xml.len() as u64,
+        dom_secs,
+        stream_secs,
+        spill_pages,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +124,19 @@ mod tests {
         assert!(sizes.vector_bytes > 0);
         assert!(sizes.catalog_bytes > 0);
         assert_eq!(sizes.total(), StoreSizes::measure(&dir).unwrap().total());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn times_both_ingest_paths() {
+        let dir = std::env::temp_dir().join("vx-bench-test-timing");
+        let _ = std::fs::remove_dir_all(&dir);
+        let doc = vx_data::skyserver(3, 50);
+        let xml = vx_xml::write_document(&doc, &vx_xml::WriteOptions::compact());
+        let timing = time_ingest(&dir, &xml, 2).unwrap();
+        assert_eq!(timing.input_bytes, xml.len() as u64);
+        assert!(timing.dom_secs > 0.0 && timing.dom_secs.is_finite());
+        assert!(timing.stream_secs > 0.0 && timing.stream_secs.is_finite());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

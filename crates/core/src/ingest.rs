@@ -1,0 +1,146 @@
+//! Streaming store construction: `Store::ingest_stream`.
+//!
+//! This is the bounded-memory twin of `vectorize` + [`Store::save`]. The
+//! reader is consumed through `vx-xml`'s pull parser and `vx-ingest`'s
+//! event pipeline — no [`vx_xml::Document`] ever exists — and the
+//! resulting store directory is **byte-identical** to what the DOM path
+//! produces for the same input and options (`tests/ingest_stream.rs` at
+//! the workspace root pins this differentially).
+//!
+//! Memory model: compressed skeleton DAG + open-element stack + one 8 KiB
+//! tail page per distinct path + the spill pool's frames. Vector values
+//! spill to a temporary `.ingest.spill` file inside the store directory
+//! (removed on completion or failure); the catalog is written atomically
+//! last, so a crash mid-ingest can never leave a store whose catalog
+//! points at half-written vectors.
+
+use crate::store::{write_catalog_atomic, Catalog, CatalogEntry, Compaction, Store};
+use crate::{CoreError, Result};
+use std::fs;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use vx_ingest::{IngestOutput, PipelineOptions};
+use vx_skeleton::format as skformat;
+use vx_storage::pager::PagerStats;
+use vx_vector::SpillPool;
+use vx_xml::{Event, Events};
+
+/// Streaming-ingest policy.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOptions {
+    /// Vector compaction on save, as in [`Store::save`].
+    pub compaction: Compaction,
+    /// Drop comments/PIs inside the tree instead of erroring, as in
+    /// `VectorizeOptions::drop_unrepresentable`.
+    pub drop_unrepresentable: bool,
+    /// Buffer-pool frames for the spill file — the paging budget of the
+    /// whole ingest, independent of document size.
+    pub spill_frames: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            compaction: Compaction::None,
+            drop_unrepresentable: false,
+            spill_frames: 64,
+        }
+    }
+}
+
+/// What a streaming ingest produced, plus how the spill pool behaved.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    pub catalog: Catalog,
+    /// Pages the spill file grew to (0 when everything fit in tail pages).
+    pub spill_pages: u64,
+    /// Spill-pool buffer statistics (misses ≈ page re-reads at finish).
+    pub pager: PagerStats,
+}
+
+impl From<vx_ingest::IngestError> for CoreError {
+    fn from(e: vx_ingest::IngestError) -> Self {
+        match e {
+            vx_ingest::IngestError::Xml(e) => CoreError::Xml(e),
+            vx_ingest::IngestError::Storage(e) => CoreError::Storage(e),
+            vx_ingest::IngestError::Skeleton(e) => CoreError::Skeleton(e),
+            vx_ingest::IngestError::Vector(e) => CoreError::Vector(e),
+            vx_ingest::IngestError::Unsupported(m) => CoreError::Unsupported(m),
+        }
+    }
+}
+
+impl Store {
+    /// Ingests XML from `reader` straight into a store directory without
+    /// building a DOM. Output is byte-identical to
+    /// `Store::save(dir, &vectorize_with(&parse(..)?, ..)?, ..)`.
+    pub fn ingest_stream<R: Read>(
+        dir: &Path,
+        reader: R,
+        options: &IngestOptions,
+    ) -> Result<IngestReport> {
+        Store::ingest_events(dir, Events::new(reader), options)
+    }
+
+    /// Same, over an already-constructed parse-event stream.
+    pub fn ingest_events(
+        dir: &Path,
+        events: impl Iterator<Item = vx_xml::Result<Event>>,
+        options: &IngestOptions,
+    ) -> Result<IngestReport> {
+        fs::create_dir_all(dir)?;
+        let pool = SpillPool::create(&dir.join(".ingest.spill"), options.spill_frames.max(1))
+            .map_err(vx_ingest::IngestError::Vector)?;
+        let pipeline_options = PipelineOptions {
+            drop_unrepresentable: options.drop_unrepresentable,
+        };
+        let output = vx_ingest::run(events, pool, pipeline_options)?;
+        write_output(dir, output, options)
+    }
+}
+
+fn write_output(dir: &Path, output: IngestOutput, options: &IngestOptions) -> Result<IngestReport> {
+    let IngestOutput {
+        skeleton,
+        root,
+        vectors,
+        mut pool,
+    } = output;
+    fs::write(dir.join("skeleton.vxsk"), skformat::write(&skeleton, root))?;
+
+    let mut entries = Vec::with_capacity(vectors.len());
+    let mut text_bytes = 0u64;
+    for (i, (path, spill)) in vectors.into_iter().enumerate() {
+        let file = format!("v{i:06}.vec");
+        let mut writer = BufWriter::new(fs::File::create(dir.join(&file))?);
+        let stats = match options.compaction {
+            Compaction::None => spill.finish_plain(&mut pool, &mut writer),
+            Compaction::Auto => spill.finish_auto(&mut pool, &mut writer),
+        }
+        .map_err(vx_ingest::IngestError::Vector)?;
+        writer.flush()?;
+        text_bytes += stats.value_bytes;
+        entries.push(CatalogEntry {
+            path,
+            file,
+            count: stats.count,
+            data_bytes: stats.data_bytes,
+        });
+    }
+
+    let catalog = Catalog {
+        vectors: entries,
+        node_count: skeleton.expanded_size(root),
+        text_bytes,
+    };
+    // Vectors and skeleton are durable; only now does the catalog appear,
+    // atomically, making the store visible as a whole.
+    write_catalog_atomic(dir, &catalog)?;
+    let report = IngestReport {
+        catalog,
+        spill_pages: pool.page_count(),
+        pager: pool.stats(),
+    };
+    drop(pool); // removes the spill file
+    Ok(report)
+}

@@ -161,7 +161,7 @@ impl Store {
             node_count: doc.node_count(),
             text_bytes: doc.text_bytes(),
         };
-        fs::write(dir.join("catalog.json"), catalog.to_json())?;
+        write_catalog_atomic(dir, &catalog)?;
         Ok(catalog)
     }
 
@@ -262,6 +262,20 @@ impl Store {
 fn read_catalog(dir: &Path) -> Result<Catalog> {
     let text = fs::read_to_string(dir.join("catalog.json"))?;
     Catalog::parse(&text)
+}
+
+/// Writes `catalog.json` atomically: full content to a temp file in the
+/// same directory, then rename over the final name. A crash mid-write can
+/// therefore never leave a valid-looking catalog pointing at half-written
+/// vectors — the store either has its previous catalog or the new one.
+pub(crate) fn write_catalog_atomic(dir: &Path, catalog: &Catalog) -> Result<()> {
+    let tmp = dir.join("catalog.json.tmp");
+    fs::write(&tmp, catalog.to_json())?;
+    if let Err(e) = fs::rename(&tmp, dir.join("catalog.json")) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(())
 }
 
 /// The result of a lenient store load.

@@ -1,0 +1,315 @@
+//! `vx-ingest` — the streaming, bounded-memory vectorization pipeline.
+//!
+//! The DOM path (`vx-core::vectorize`) materializes the whole document
+//! tree before building `VEC(T) = (S, V)`, capping ingest at available
+//! memory. This crate builds the same `(S, V)` in **one pass over parse
+//! events** with no tree at all:
+//!
+//! * [`vx_xml::Events`] yields start/attr/text/end events straight off a
+//!   [`std::io::Read`] source;
+//! * [`vx_skeleton::SkeletonBuilder`] hash-conses each subtree bottom-up
+//!   the moment its end tag arrives, run-length-coalescing repeated edges
+//!   on the fly — memory is the compressed DAG plus the open-element
+//!   stack;
+//! * [`vx_vector::SpillVector`] buffers each path's values in one 8 KiB
+//!   page, spilling full pages to a shared temporary file through the
+//!   bounded [`vx_vector::SpillPool`] buffer pool.
+//!
+//! Peak memory is therefore `O(compressed skeleton + open-element stack +
+//! one page per distinct path + pool frames)` — the paper's scenario of
+//! repositories far larger than RAM. The [`Pipeline`] here mirrors the
+//! DOM vectorizer's construction order exactly (name interning at element
+//! entry, `@attr` pseudo-children in attribute order, `#` markers for
+//! text), which is what makes the two paths' on-disk output
+//! byte-identical; `vx-core::Store::ingest_stream` wires this into the
+//! persistent store and the root `tests/ingest_stream.rs` suite pins the
+//! equivalence differentially.
+
+use std::collections::HashMap;
+use std::fmt;
+use vx_skeleton::{NodeId, Skeleton, SkeletonBuilder};
+use vx_vector::{SpillPool, SpillVector};
+use vx_xml::Event;
+
+/// Errors produced by the streaming pipeline.
+#[derive(Debug)]
+pub enum IngestError {
+    Xml(vx_xml::XmlError),
+    Storage(vx_storage::StorageError),
+    Skeleton(vx_skeleton::SkeletonError),
+    Vector(vx_vector::VectorError),
+    /// The stream contains a construct vectorization cannot represent
+    /// losslessly (comments / processing instructions inside the tree) in
+    /// strict mode. Same wording as the DOM path's error.
+    Unsupported(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Xml(e) => write!(f, "{e}"),
+            IngestError::Storage(e) => write!(f, "{e}"),
+            IngestError::Skeleton(e) => write!(f, "{e}"),
+            IngestError::Vector(e) => write!(f, "{e}"),
+            IngestError::Unsupported(m) => write!(f, "unsupported content: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<vx_xml::XmlError> for IngestError {
+    fn from(e: vx_xml::XmlError) -> Self {
+        IngestError::Xml(e)
+    }
+}
+
+impl From<vx_storage::StorageError> for IngestError {
+    fn from(e: vx_storage::StorageError) -> Self {
+        IngestError::Storage(e)
+    }
+}
+
+impl From<vx_skeleton::SkeletonError> for IngestError {
+    fn from(e: vx_skeleton::SkeletonError) -> Self {
+        IngestError::Skeleton(e)
+    }
+}
+
+impl From<vx_vector::VectorError> for IngestError {
+    fn from(e: vx_vector::VectorError) -> Self {
+        IngestError::Vector(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, IngestError>;
+
+/// Pipeline policy knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineOptions {
+    /// When false (default), comments and processing instructions inside
+    /// the tree are an error, exactly as in `vx-core::VectorizeOptions`.
+    /// When true they are dropped. Prolog/epilog misc is always ignored.
+    pub drop_unrepresentable: bool,
+}
+
+/// Everything the pipeline accumulated, ready for the store layer to
+/// serialize: the consed skeleton, and one spilled vector per path in
+/// first-occurrence document order (the store's `v{NNNNNN}.vec` order).
+pub struct IngestOutput {
+    pub skeleton: Skeleton,
+    pub root: NodeId,
+    pub vectors: Vec<(String, SpillVector)>,
+    pub pool: SpillPool,
+}
+
+/// The event-to-`(S, V)` driver. Feed it every event of one document,
+/// then [`Pipeline::finish`].
+pub struct Pipeline {
+    builder: SkeletonBuilder,
+    pool: SpillPool,
+    vectors: Vec<(String, SpillVector)>,
+    by_path: HashMap<String, usize>,
+    path: String,
+    parent_lens: Vec<usize>,
+    options: PipelineOptions,
+}
+
+impl Pipeline {
+    /// A pipeline spilling through `pool`.
+    pub fn new(pool: SpillPool, options: PipelineOptions) -> Self {
+        Pipeline {
+            builder: SkeletonBuilder::new(),
+            pool,
+            vectors: Vec::new(),
+            by_path: HashMap::new(),
+            path: String::new(),
+            parent_lens: Vec::new(),
+            options,
+        }
+    }
+
+    fn push_value(&mut self, path: &str, value: &[u8]) -> Result<()> {
+        let idx = match self.by_path.get(path) {
+            Some(&i) => i,
+            None => {
+                let i = self.vectors.len();
+                self.vectors.push((path.to_string(), SpillVector::new()));
+                self.by_path.insert(path.to_string(), i);
+                i
+            }
+        };
+        self.vectors[idx].1.append(&mut self.pool, value)?;
+        Ok(())
+    }
+
+    /// Consumes one parse event.
+    pub fn feed(&mut self, event: Event) -> Result<()> {
+        match event {
+            Event::Decl(_) => {}
+            Event::Start(name) => {
+                self.builder.start_element(&name)?;
+                self.parent_lens.push(self.path.len());
+                if !self.path.is_empty() {
+                    self.path.push('/');
+                }
+                self.path.push_str(&name);
+            }
+            Event::Attr { name, value } => {
+                self.builder.attribute(&name)?;
+                let attr_path = format!("{}/@{name}", self.path);
+                self.push_value(&attr_path, value.as_bytes())?;
+            }
+            Event::Text(t) | Event::CData(t) => {
+                self.builder.text()?;
+                let path = std::mem::take(&mut self.path);
+                let result = self.push_value(&path, t.as_bytes());
+                self.path = path;
+                result?;
+            }
+            Event::End(_) => {
+                self.builder.end_element()?;
+                let parent_len = self
+                    .parent_lens
+                    .pop()
+                    .expect("builder accepted end_element, so an element was open");
+                self.path.truncate(parent_len);
+            }
+            Event::Comment(_) | Event::Pi { .. } => {
+                // Prolog/epilog misc is ignored by vectorization; inside
+                // the tree it is unrepresentable, same as the DOM path.
+                if self.builder.depth() > 0 && !self.options.drop_unrepresentable {
+                    return Err(IngestError::Unsupported(format!(
+                        "comment/processing instruction under `{}`; \
+                         vectorization drops these only with drop_unrepresentable",
+                        self.path
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the pass. Errors on an unbalanced or empty stream.
+    pub fn finish(self) -> Result<IngestOutput> {
+        let (skeleton, root) = self.builder.finish()?;
+        Ok(IngestOutput {
+            skeleton,
+            root,
+            vectors: self.vectors,
+            pool: self.pool,
+        })
+    }
+}
+
+/// Runs a whole event stream through a [`Pipeline`] in one call.
+pub fn run(
+    events: impl Iterator<Item = vx_xml::Result<Event>>,
+    pool: SpillPool,
+    options: PipelineOptions,
+) -> Result<IngestOutput> {
+    let mut pipeline = Pipeline::new(pool, options);
+    for event in events {
+        pipeline.feed(event?)?;
+    }
+    pipeline.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use vx_xml::Events;
+
+    fn temp_spill(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vx-ingest-{}-{name}.spill", std::process::id()))
+    }
+
+    fn ingest(xml: &str, name: &str, options: PipelineOptions) -> Result<IngestOutput> {
+        let pool = SpillPool::create(&temp_spill(name), 4).unwrap();
+        run(Events::new(xml.as_bytes()), pool, options)
+    }
+
+    fn values(output: &mut IngestOutput, path: &str) -> Vec<Vec<u8>> {
+        let i = output
+            .vectors
+            .iter()
+            .position(|(p, _)| p == path)
+            .unwrap_or_else(|| panic!("no vector for {path}"));
+        let (_, sv) = output.vectors.remove(i);
+        let mut bytes = Vec::new();
+        sv.finish_plain(&mut output.pool, &mut bytes).unwrap();
+        let vec = vx_vector::Vector::decode(&bytes).unwrap();
+        vec.iter().map(<[u8]>::to_vec).collect()
+    }
+
+    #[test]
+    fn paths_arrive_in_first_occurrence_order_with_values() {
+        let mut out = ingest(
+            r#"<lib><book id="1"><title>T1</title></book><book id="2"><title>T2</title></book></lib>"#,
+            "order",
+            PipelineOptions::default(),
+        )
+        .unwrap();
+        let paths: Vec<_> = out.vectors.iter().map(|(p, _)| p.clone()).collect();
+        assert_eq!(paths, ["lib/book/@id", "lib/book/title"]);
+        assert_eq!(
+            values(&mut out, "lib/book/title"),
+            [b"T1".to_vec(), b"T2".to_vec()]
+        );
+        assert_eq!(
+            values(&mut out, "lib/book/@id"),
+            [b"1".to_vec(), b"2".to_vec()]
+        );
+        // lib + 2 × (book, @id, '#', title, '#') = 11 expanded nodes.
+        assert_eq!(out.skeleton.expanded_size(out.root), 11);
+    }
+
+    #[test]
+    fn repeated_rows_compress_in_flight() {
+        let mut xml = String::from("<t>");
+        for i in 0..500 {
+            xml.push_str(&format!("<r><c>{i}</c></r>"));
+        }
+        xml.push_str("</t>");
+        let out = ingest(&xml, "rle", PipelineOptions::default()).unwrap();
+        // '#', c, r, t — the 500 identical rows share one DAG node.
+        assert_eq!(out.skeleton.len(), 4);
+        assert_eq!(out.skeleton.expanded_size(out.root), 1 + 500 * 3);
+    }
+
+    #[test]
+    fn strict_mode_rejects_tree_comments_like_the_dom_path() {
+        let Err(err) = ingest("<a><!-- c --></a>", "strict", PipelineOptions::default()) else {
+            panic!("strict mode must reject tree comments");
+        };
+        let IngestError::Unsupported(m) = err else {
+            panic!("expected Unsupported, got {err}");
+        };
+        assert!(m.contains("under `a`"));
+        // Dropping mode and prolog/epilog misc are fine.
+        assert!(ingest(
+            "<a><!-- c --></a>",
+            "drop",
+            PipelineOptions {
+                drop_unrepresentable: true
+            }
+        )
+        .is_ok());
+        assert!(ingest(
+            "<!-- pre --><a>x</a><!-- post -->",
+            "misc",
+            PipelineOptions::default()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(matches!(
+            ingest("<a><b></a>", "bad", PipelineOptions::default()),
+            Err(IngestError::Xml(_))
+        ));
+    }
+}

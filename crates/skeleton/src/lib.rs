@@ -17,10 +17,12 @@
 pub mod arena;
 pub mod format;
 pub mod paths;
+pub mod stream;
 
 pub use arena::{Edge, NameId, NodeId, Skeleton};
 pub use format::{read, read_lenient, write, RawSkeleton, SalvageReport};
 pub use paths::{PathIndex, PathPattern, PatternStep, PatternTest};
+pub use stream::SkeletonBuilder;
 
 use std::fmt;
 
@@ -35,6 +37,9 @@ pub enum SkeletonError {
         offset: usize,
         message: String,
     },
+    /// Event sequence error during incremental construction
+    /// ([`SkeletonBuilder`]): unbalanced tags, a second root, etc.
+    Builder(String),
 }
 
 impl fmt::Display for SkeletonError {
@@ -45,6 +50,7 @@ impl fmt::Display for SkeletonError {
             SkeletonError::Corrupt { offset, message } => {
                 write!(f, "corrupt .vxsk at byte {offset}: {message}")
             }
+            SkeletonError::Builder(m) => write!(f, "skeleton builder: {m}"),
         }
     }
 }

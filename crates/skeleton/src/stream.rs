@@ -1,0 +1,209 @@
+//! Incremental, bottom-up skeleton construction for streaming ingest.
+//!
+//! [`SkeletonBuilder`] consumes start-element / attribute / text /
+//! end-element notifications (one per parse event) and hash-conses each
+//! subtree the moment its end tag arrives, run-length-coalescing
+//! consecutive repeated edges as they are appended. Memory is therefore
+//! the compressed DAG plus one pending edge list per *open* element —
+//! never the document tree.
+//!
+//! The construction order is identical to `vx-core`'s DOM vectorizer
+//! (element name interned on entry, then `@attr` pseudo-children in
+//! attribute order, then children in document order), so a builder fed
+//! from a parse-event stream produces an arena whose canonical `.vxsk`
+//! serialization is byte-identical to the DOM path's.
+
+use crate::arena::{push_child, Edge, NodeId, Skeleton, TEXT_NODE};
+use crate::{Result, SkeletonError};
+
+/// One open element: its interned name and the edges consed so far.
+type Frame = (crate::arena::NameId, Vec<Edge>);
+
+/// Builds a hash-consed [`Skeleton`] incrementally from parse events.
+#[derive(Debug, Default)]
+pub struct SkeletonBuilder {
+    skeleton: Skeleton,
+    stack: Vec<Frame>,
+    root: Option<NodeId>,
+}
+
+impl SkeletonBuilder {
+    /// An empty builder around a fresh arena.
+    pub fn new() -> Self {
+        SkeletonBuilder::default()
+    }
+
+    /// Number of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Read access to the arena being built (names interned so far, etc.).
+    pub fn skeleton(&self) -> &Skeleton {
+        &self.skeleton
+    }
+
+    /// Opens an element. Errors on a second root (the first element after
+    /// the root element closed).
+    pub fn start_element(&mut self, name: &str) -> Result<()> {
+        if self.stack.is_empty() && self.root.is_some() {
+            return Err(SkeletonError::Builder(
+                "second root element in stream".to_string(),
+            ));
+        }
+        let id = self.skeleton.intern(name);
+        self.stack.push((id, Vec::new()));
+        Ok(())
+    }
+
+    /// Records an attribute of the innermost open element as an `@name`
+    /// pseudo-child with a single `#` child (the value itself goes to the
+    /// vector layer, not the skeleton).
+    pub fn attribute(&mut self, name: &str) -> Result<()> {
+        let attr_id = self.skeleton.intern(&format!("@{name}"));
+        let node = self.skeleton.cons(
+            attr_id,
+            vec![Edge {
+                child: TEXT_NODE,
+                run: 1,
+            }],
+        );
+        let (_, edges) = self
+            .stack
+            .last_mut()
+            .ok_or_else(|| SkeletonError::Builder("attribute outside element".to_string()))?;
+        push_child(edges, node);
+        Ok(())
+    }
+
+    /// Records a text (or CDATA) child of the innermost open element as a
+    /// `#` marker.
+    pub fn text(&mut self) -> Result<()> {
+        let (_, edges) = self
+            .stack
+            .last_mut()
+            .ok_or_else(|| SkeletonError::Builder("text outside element".to_string()))?;
+        push_child(edges, TEXT_NODE);
+        Ok(())
+    }
+
+    /// Closes the innermost open element: its subtree is hash-consed now
+    /// and appended (run-length merged) to its parent's edge list.
+    pub fn end_element(&mut self) -> Result<()> {
+        let (name, edges) = self
+            .stack
+            .pop()
+            .ok_or_else(|| SkeletonError::Builder("end tag without open element".to_string()))?;
+        let node = self.skeleton.cons(name, edges);
+        match self.stack.last_mut() {
+            Some((_, parent_edges)) => push_child(parent_edges, node),
+            None => self.root = Some(node),
+        }
+        Ok(())
+    }
+
+    /// Finishes the build, returning the arena and the root node.
+    pub fn finish(self) -> Result<(Skeleton, NodeId)> {
+        if let Some((open, _)) = self.stack.last() {
+            let name = self.skeleton.name(*open).to_string();
+            return Err(SkeletonError::Builder(format!(
+                "unclosed element `{name}` at end of stream"
+            )));
+        }
+        let root = self
+            .root
+            .ok_or_else(|| SkeletonError::Builder("empty stream: no root element".to_string()))?;
+        Ok((self.skeleton, root))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_same_arena_as_manual_bottom_up_cons() {
+        // <table><row>#</row><row>#</row></table>, built both ways.
+        let mut b = SkeletonBuilder::new();
+        b.start_element("table").unwrap();
+        for _ in 0..2 {
+            b.start_element("row").unwrap();
+            b.text().unwrap();
+            b.end_element().unwrap();
+        }
+        b.end_element().unwrap();
+        let (built, built_root) = b.finish().unwrap();
+
+        let mut s = Skeleton::new();
+        let table = s.intern("table");
+        let row = s.intern("row");
+        let leaf = s.cons(
+            row,
+            vec![Edge {
+                child: TEXT_NODE,
+                run: 1,
+            }],
+        );
+        let root = s.cons(
+            table,
+            vec![Edge {
+                child: leaf,
+                run: 2,
+            }],
+        );
+
+        assert_eq!(built.len(), s.len());
+        assert_eq!(built.names(), s.names());
+        assert_eq!(built.node(built_root), s.node(root));
+        assert_eq!(built.duplicate_nodes(), 0);
+    }
+
+    #[test]
+    fn attributes_become_pseudo_children_in_order() {
+        let mut b = SkeletonBuilder::new();
+        b.start_element("e").unwrap();
+        b.attribute("x").unwrap();
+        b.attribute("y").unwrap();
+        b.text().unwrap();
+        b.end_element().unwrap();
+        let (s, root) = b.finish().unwrap();
+        assert_eq!(s.names(), ["e", "@x", "@y"]);
+        let edges = &s.node(root).edges;
+        assert_eq!(edges.len(), 3); // @x node, @y node, '#'
+        assert_eq!(edges[2].child, TEXT_NODE);
+    }
+
+    #[test]
+    fn runs_coalesce_incrementally() {
+        let mut b = SkeletonBuilder::new();
+        b.start_element("t").unwrap();
+        for _ in 0..1000 {
+            b.start_element("r").unwrap();
+            b.text().unwrap();
+            b.end_element().unwrap();
+        }
+        b.end_element().unwrap();
+        let (s, root) = b.finish().unwrap();
+        assert_eq!(s.node(root).edges.len(), 1);
+        assert_eq!(s.node(root).edges[0].run, 1000);
+        assert_eq!(s.expanded_size(root), 1 + 1000 * 2);
+        assert_eq!(s.len(), 3); // '#', r-leaf, root
+    }
+
+    #[test]
+    fn misuse_is_reported_not_panicked() {
+        assert!(SkeletonBuilder::new().end_element().is_err());
+        assert!(SkeletonBuilder::new().text().is_err());
+        assert!(SkeletonBuilder::new().attribute("a").is_err());
+        assert!(SkeletonBuilder::new().finish().is_err());
+
+        let mut unclosed = SkeletonBuilder::new();
+        unclosed.start_element("a").unwrap();
+        assert!(unclosed.finish().is_err());
+
+        let mut two_roots = SkeletonBuilder::new();
+        two_roots.start_element("a").unwrap();
+        two_roots.end_element().unwrap();
+        assert!(two_roots.start_element("b").is_err());
+    }
+}

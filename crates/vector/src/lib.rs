@@ -27,8 +27,10 @@
 //! capture's byte-dropping sanitizer, driven by the catalog's record count.
 
 mod format;
+mod spill;
 
 pub use format::{Vector, VectorStats, Writer, SKIP_STRIDE};
+pub use spill::{SpillPool, SpillVector};
 
 use std::fmt;
 

@@ -1,0 +1,485 @@
+//! Spill-to-disk vector accumulation for streaming ingest.
+//!
+//! A [`SpillVector`] accumulates one path's values during a single
+//! streaming pass: records are varint-length-prefixed into a one-page tail
+//! buffer, and each full page spills to a shared temporary file through
+//! [`vx_storage::Pager`]. Peak memory per path is therefore one 8 KiB page
+//! (plus the ≤ 128-entry dictionary candidate), regardless of how many
+//! values the path accumulates.
+//!
+//! `finish_plain`/`finish_auto` then stream the spilled pages back through
+//! the pager's bounded buffer pool into a final `.vec` file that is
+//! byte-identical to what [`crate::Writer`]'s in-memory `encode_plain` /
+//! `encode_auto` would have produced for the same values — the equivalence
+//! the differential ingest tests pin down.
+
+use crate::{Result, VectorError, VectorStats, SKIP_STRIDE};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use vx_storage::pager::{Pager, PagerStats, PAGE_SIZE};
+use vx_storage::varint;
+
+const MAGIC: &[u8; 4] = b"VXVC";
+const TRAILER_MAGIC: &[u8; 4] = b"VXVE";
+const V1_PLAIN: u8 = 1;
+const V2_DICT: u8 = 2;
+/// Bytes before the data section (magic + version).
+const DATA_START: u64 = 5;
+/// Dictionary compaction cut-off (one `u8` code per record).
+const MAX_DICT: usize = 128;
+
+/// A shared temporary spill file, page-allocated through one bounded
+/// [`Pager`] pool. Many [`SpillVector`]s interleave their pages in it; the
+/// file is deleted when the pool is dropped.
+pub struct SpillPool {
+    pager: Pager,
+    path: PathBuf,
+}
+
+impl SpillPool {
+    /// Creates (truncating any leftover) a spill file with a buffer pool of
+    /// `frames` page frames — the ingest pipeline's total paging budget.
+    pub fn create(path: &Path, frames: usize) -> Result<Self> {
+        // A stale file from a crashed run would make the pager append after
+        // its old pages; start from zero length.
+        let _ = std::fs::remove_file(path);
+        Ok(SpillPool {
+            pager: Pager::open(path, frames)?,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Buffer-pool statistics (hits/misses/evictions/writebacks).
+    pub fn stats(&self) -> PagerStats {
+        self.pager.stats()
+    }
+
+    /// Pages allocated in the spill file so far (across all vectors).
+    pub fn page_count(&self) -> u64 {
+        self.pager.page_count()
+    }
+}
+
+impl Drop for SpillPool {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// One path's record stream: full pages in the pool, plus a one-page tail.
+pub struct SpillVector {
+    /// Spill-file pages holding full `PAGE_SIZE` slices of the stream.
+    pages: Vec<u64>,
+    tail: Box<[u8; PAGE_SIZE]>,
+    tail_len: usize,
+    count: u64,
+    /// Total record-stream bytes (varint prefixes + raw values).
+    stream_len: u64,
+    value_bytes: u64,
+    /// Data-relative offsets of records `0, 256, 512, …`.
+    skips: Vec<u64>,
+    /// Dictionary candidate in first-occurrence order; emptied on overflow.
+    dict: Vec<Vec<u8>>,
+    dict_overflow: bool,
+}
+
+impl Default for SpillVector {
+    fn default() -> Self {
+        SpillVector::new()
+    }
+}
+
+impl SpillVector {
+    pub fn new() -> Self {
+        SpillVector {
+            pages: Vec::new(),
+            tail: Box::new([0u8; PAGE_SIZE]),
+            tail_len: 0,
+            count: 0,
+            stream_len: 0,
+            value_bytes: 0,
+            skips: Vec::new(),
+            dict: Vec::new(),
+            dict_overflow: false,
+        }
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Appends one value, spilling the tail page when it fills.
+    pub fn append(&mut self, pool: &mut SpillPool, value: &[u8]) -> Result<()> {
+        if self.count.is_multiple_of(SKIP_STRIDE) {
+            self.skips.push(self.stream_len);
+        }
+        let mut prefix = Vec::with_capacity(varint::MAX_LEN);
+        varint::write(&mut prefix, value.len() as u64);
+        self.write_stream(pool, &prefix)?;
+        self.write_stream(pool, value)?;
+        if !self.dict_overflow && !self.dict.iter().any(|d| d == value) {
+            if self.dict.len() >= MAX_DICT {
+                self.dict_overflow = true;
+                self.dict = Vec::new();
+            } else {
+                self.dict.push(value.to_vec());
+            }
+        }
+        self.count += 1;
+        self.value_bytes += value.len() as u64;
+        Ok(())
+    }
+
+    fn write_stream(&mut self, pool: &mut SpillPool, mut bytes: &[u8]) -> Result<()> {
+        self.stream_len += bytes.len() as u64;
+        while !bytes.is_empty() {
+            let room = PAGE_SIZE - self.tail_len;
+            let take = room.min(bytes.len());
+            self.tail[self.tail_len..self.tail_len + take].copy_from_slice(&bytes[..take]);
+            self.tail_len += take;
+            bytes = &bytes[take..];
+            if self.tail_len == PAGE_SIZE {
+                let page = pool.pager.allocate()?;
+                pool.pager
+                    .with_page_mut(page, |data| data.copy_from_slice(&self.tail[..]))?;
+                self.pages.push(page);
+                self.tail_len = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total on-disk size of the version-1 encoding.
+    fn plain_size(&self) -> u64 {
+        let skip_bytes: u64 = self
+            .skips
+            .iter()
+            .map(|&s| varint::encoded_len(s) as u64)
+            .sum();
+        DATA_START + self.stream_len + skip_bytes + 28
+    }
+
+    /// Total on-disk size of the version-2 encoding, if possible.
+    fn dict_size(&self) -> Option<u64> {
+        if self.dict_overflow {
+            return None;
+        }
+        let dict_bytes: u64 = self
+            .dict
+            .iter()
+            .map(|e| (varint::encoded_len(e.len() as u64) + e.len()) as u64)
+            .sum();
+        Some(
+            DATA_START
+                + varint::encoded_len(self.dict.len() as u64) as u64
+                + dict_bytes
+                + self.count
+                + 28,
+        )
+    }
+
+    /// Streams the record stream (pages then tail) into `out`.
+    fn copy_stream(&self, pool: &mut SpillPool, out: &mut impl Write) -> Result<()> {
+        for &page in &self.pages {
+            pool.pager
+                .with_page(page, |data| out.write_all(&data[..]))??;
+        }
+        out.write_all(&self.tail[..self.tail_len])?;
+        Ok(())
+    }
+
+    /// Writes the version-1 (plain) encoding — byte-identical to
+    /// [`crate::Writer::encode_plain`] over the same values.
+    pub fn finish_plain(self, pool: &mut SpillPool, out: &mut impl Write) -> Result<VectorStats> {
+        out.write_all(MAGIC)?;
+        out.write_all(&[V1_PLAIN])?;
+        self.copy_stream(pool, out)?;
+        let mut index = Vec::new();
+        for &skip in &self.skips {
+            varint::write(&mut index, skip);
+        }
+        let data_end = DATA_START + self.stream_len;
+        write_trailer(&mut index, data_end, self.count);
+        out.write_all(&index)?;
+        Ok(VectorStats {
+            count: self.count,
+            data_bytes: self.stream_len,
+            value_bytes: self.value_bytes,
+            version: V1_PLAIN,
+        })
+    }
+
+    /// Writes whichever of version 1/2 [`crate::Writer::encode_auto`] would
+    /// pick (version 2 iff ≤ 128 distinct values *and* strictly smaller),
+    /// byte-identical to it.
+    pub fn finish_auto(self, pool: &mut SpillPool, out: &mut impl Write) -> Result<VectorStats> {
+        match self.dict_size() {
+            Some(dict_size) if dict_size < self.plain_size() => self.finish_dict(pool, out),
+            _ => self.finish_plain(pool, out),
+        }
+    }
+
+    /// Writes the version-2 (dictionary) encoding. The record stream is
+    /// re-read through the pager one value at a time to emit codes.
+    fn finish_dict(self, pool: &mut SpillPool, out: &mut impl Write) -> Result<VectorStats> {
+        debug_assert!(!self.dict_overflow);
+        let mut head = Vec::new();
+        head.extend_from_slice(MAGIC);
+        head.push(V2_DICT);
+        varint::write(&mut head, self.dict.len() as u64);
+        for entry in &self.dict {
+            varint::write(&mut head, entry.len() as u64);
+            head.extend_from_slice(entry);
+        }
+        out.write_all(&head)?;
+        let mut cursor = SpillCursor::new(&self);
+        let mut codes = Vec::with_capacity(self.count as usize);
+        let mut value = Vec::new();
+        for i in 0..self.count {
+            cursor.next_value(&self, pool, &mut value)?;
+            let code = self
+                .dict
+                .iter()
+                .position(|d| *d == value)
+                .ok_or(VectorError::Corrupt {
+                    offset: cursor.stream_pos as usize,
+                    message: format!("spilled record {i} missing from dictionary"),
+                })?;
+            codes.push(code as u8);
+        }
+        out.write_all(&codes)?;
+        let data_end = head.len() as u64 + self.count;
+        let mut trailer = Vec::new();
+        write_trailer(&mut trailer, data_end, self.count);
+        out.write_all(&trailer)?;
+        Ok(VectorStats {
+            count: self.count,
+            data_bytes: self.count,
+            value_bytes: self.value_bytes,
+            version: V2_DICT,
+        })
+    }
+}
+
+fn write_trailer(out: &mut Vec<u8>, data_end: u64, count: u64) {
+    out.extend_from_slice(&data_end.to_le_bytes());
+    out.extend_from_slice(&data_end.to_le_bytes()); // skip_start == data_end
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(TRAILER_MAGIC);
+}
+
+/// Sequential reader over a [`SpillVector`]'s record stream: one page-sized
+/// chunk resident at a time, pulled through the pool.
+struct SpillCursor {
+    /// Index into `pages`; `pages.len()` means the tail.
+    chunk_idx: usize,
+    chunk: Vec<u8>,
+    pos: usize,
+    stream_pos: u64,
+}
+
+impl SpillCursor {
+    fn new(vec: &SpillVector) -> Self {
+        SpillCursor {
+            chunk_idx: 0,
+            chunk: if vec.pages.is_empty() {
+                vec.tail[..vec.tail_len].to_vec()
+            } else {
+                Vec::new() // loaded lazily on first read
+            },
+            pos: 0,
+            stream_pos: 0,
+        }
+    }
+
+    fn load(&mut self, vec: &SpillVector, pool: &mut SpillPool) -> Result<()> {
+        while self.pos >= self.chunk.len() {
+            if self.chunk_idx >= vec.pages.len() {
+                if self.chunk_idx == vec.pages.len() && !vec.pages.is_empty() {
+                    self.chunk = vec.tail[..vec.tail_len].to_vec();
+                    self.pos = 0;
+                    self.chunk_idx += 1;
+                    continue;
+                }
+                return Err(VectorError::Corrupt {
+                    offset: self.stream_pos as usize,
+                    message: "spilled record stream truncated".into(),
+                });
+            }
+            let page = vec.pages[self.chunk_idx];
+            self.chunk = pool.pager.with_page(page, |data| data.to_vec())?;
+            self.pos = 0;
+            self.chunk_idx += 1;
+        }
+        Ok(())
+    }
+
+    fn read_byte(&mut self, vec: &SpillVector, pool: &mut SpillPool) -> Result<u8> {
+        self.load(vec, pool)?;
+        let b = self.chunk[self.pos];
+        self.pos += 1;
+        self.stream_pos += 1;
+        Ok(b)
+    }
+
+    /// Reads one varint-prefixed record into `out` (cleared first).
+    fn next_value(
+        &mut self,
+        vec: &SpillVector,
+        pool: &mut SpillPool,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let mut len: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_byte(vec, pool)?;
+            len |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        out.clear();
+        let mut remaining = len as usize;
+        while remaining > 0 {
+            self.load(vec, pool)?;
+            let take = remaining.min(self.chunk.len() - self.pos);
+            out.extend_from_slice(&self.chunk[self.pos..self.pos + take]);
+            self.pos += take;
+            self.stream_pos += take as u64;
+            remaining -= take;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+
+    fn temp_spill(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vx-spill-{}-{name}.spill", std::process::id()))
+    }
+
+    fn finish_both(values: &[Vec<u8>], name: &str, auto: bool) -> (Vec<u8>, Vec<u8>) {
+        let mut w = Writer::new();
+        for v in values {
+            w.push(v);
+        }
+        let reference = if auto {
+            w.encode_auto()
+        } else {
+            w.encode_plain()
+        };
+
+        let path = temp_spill(name);
+        let mut pool = SpillPool::create(&path, 4).unwrap();
+        let mut sv = SpillVector::new();
+        for v in values {
+            sv.append(&mut pool, v).unwrap();
+        }
+        let mut streamed = Vec::new();
+        if auto {
+            sv.finish_auto(&mut pool, &mut streamed).unwrap();
+        } else {
+            sv.finish_plain(&mut pool, &mut streamed).unwrap();
+        }
+        drop(pool);
+        assert!(!path.exists(), "spill file must be removed on drop");
+        (reference, streamed)
+    }
+
+    #[test]
+    fn plain_matches_in_memory_writer() {
+        let values: Vec<Vec<u8>> = (0..3000)
+            .map(|i| format!("value-{i:05}-{}", "x".repeat(i % 90)).into_bytes())
+            .collect();
+        let (reference, streamed) = finish_both(&values, "plain", false);
+        assert_eq!(reference, streamed);
+    }
+
+    #[test]
+    fn values_larger_than_a_page_match() {
+        let values = vec![
+            vec![b'a'; PAGE_SIZE * 3 + 17],
+            Vec::new(),
+            vec![b'b'; PAGE_SIZE - 1],
+            vec![b'c'; PAGE_SIZE],
+            vec![b'd'; 5],
+        ];
+        for auto in [false, true] {
+            let (reference, streamed) =
+                finish_both(&values, if auto { "big-a" } else { "big-p" }, auto);
+            assert_eq!(reference, streamed);
+        }
+    }
+
+    #[test]
+    fn low_cardinality_picks_dictionary_identically() {
+        let values: Vec<Vec<u8>> = (0..4000)
+            .map(|i| format!("{}", i % 9).into_bytes())
+            .collect();
+        let (reference, streamed) = finish_both(&values, "dict", true);
+        assert_eq!(reference[4], 2, "reference must pick the dict encoding");
+        assert_eq!(reference, streamed);
+    }
+
+    #[test]
+    fn high_cardinality_falls_back_to_plain_identically() {
+        let values: Vec<Vec<u8>> = (0..600).map(|i| format!("{i}").into_bytes()).collect();
+        let (reference, streamed) = finish_both(&values, "fallback", true);
+        assert_eq!(reference[4], 1, "reference must fall back to plain");
+        assert_eq!(reference, streamed);
+    }
+
+    #[test]
+    fn borderline_dictionary_decision_matches() {
+        // Exactly 128 distinct values, short records: auto must agree.
+        let values: Vec<Vec<u8>> = (0..1000)
+            .map(|i| format!("{}", i % 128).into_bytes())
+            .collect();
+        let (reference, streamed) = finish_both(&values, "border", true);
+        assert_eq!(reference, streamed);
+        // Tiny vector where the dictionary overhead loses: still identical.
+        let values = vec![b"only".to_vec()];
+        let (reference, streamed) = finish_both(&values, "tiny", true);
+        assert_eq!(reference, streamed);
+    }
+
+    #[test]
+    fn empty_vector_matches() {
+        for auto in [false, true] {
+            let (reference, streamed) =
+                finish_both(&[], if auto { "empty-a" } else { "empty-p" }, auto);
+            assert_eq!(reference, streamed);
+        }
+    }
+
+    #[test]
+    fn many_vectors_interleave_in_one_pool() {
+        let path = temp_spill("interleave");
+        let mut pool = SpillPool::create(&path, 3).unwrap();
+        let mut vectors: Vec<SpillVector> = (0..8).map(|_| SpillVector::new()).collect();
+        let mut expected: Vec<Writer> = (0..8).map(|_| Writer::new()).collect();
+        for round in 0..2000 {
+            for (k, sv) in vectors.iter_mut().enumerate() {
+                let value = format!("v{k}-{round}-{}", "p".repeat(round % 30));
+                sv.append(&mut pool, value.as_bytes()).unwrap();
+                expected[k].push(value.as_bytes());
+            }
+        }
+        assert!(pool.page_count() > 8, "interleaved streams must spill");
+        for (sv, w) in vectors.into_iter().zip(&expected) {
+            let mut streamed = Vec::new();
+            sv.finish_auto(&mut pool, &mut streamed).unwrap();
+            assert_eq!(streamed, w.encode_auto());
+        }
+        assert!(pool.stats().evictions > 0, "bounded pool must evict");
+    }
+}

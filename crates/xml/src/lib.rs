@@ -12,10 +12,12 @@
 //! strings, exactly as the paper's skeleton does.
 
 mod dom;
+mod events;
 mod parser;
 mod writer;
 
 pub use dom::{Document, Element, Node, XmlDecl};
+pub use events::{Event, Events};
 pub use parser::parse;
 pub use writer::{write_document, write_element, WriteOptions};
 

@@ -1,0 +1,143 @@
+//! `vx` — minimal command-line front end for the vectorized XML store.
+//!
+//! ```text
+//! vx ingest <xml-file> <store-dir> [--auto] [--dom] [--drop-misc] [--frames N]
+//! vx stats <store-dir>
+//! ```
+//!
+//! `ingest` builds a store from an XML file, by default through the
+//! streaming bounded-memory pipeline (`Store::ingest_stream`); `--dom`
+//! forces the parse-then-vectorize path (both produce byte-identical
+//! stores). `stats` summarizes a store from its catalog and skeleton
+//! without loading any vectors.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use xmlvec::bench::StoreSizes;
+use xmlvec::core::{Catalog, Compaction, IngestOptions, Store};
+
+const USAGE: &str = "usage:
+  vx ingest <xml-file> <store-dir> [--auto] [--dom] [--drop-misc] [--frames N]
+  vx stats <store-dir>
+
+ingest options:
+  --auto       per-vector dictionary compaction when smaller (default: plain)
+  --dom        build via the in-memory DOM path instead of streaming
+  --drop-misc  drop comments/processing instructions instead of erroring
+  --frames N   spill buffer-pool frames for streaming ingest (default: 64)";
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("vx: {message}");
+    exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("ingest") => ingest(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn ingest(args: &[String]) {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut options = IngestOptions::default();
+    let mut use_dom = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--auto" => options.compaction = Compaction::Auto,
+            "--dom" => use_dom = true,
+            "--drop-misc" => options.drop_unrepresentable = true,
+            "--frames" => {
+                i += 1;
+                options.spill_frames = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--frames needs a positive integer"));
+            }
+            flag if flag.starts_with('-') => fail(format!("unknown flag `{flag}`")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [xml_file, store_dir] = positional[..] else {
+        usage();
+    };
+    let dir = PathBuf::from(store_dir);
+
+    let catalog = if use_dom {
+        let text = std::fs::read_to_string(xml_file)
+            .unwrap_or_else(|e| fail(format!("reading {xml_file}: {e}")));
+        let doc = xmlvec::xml::parse(&text).unwrap_or_else(|e| fail(e));
+        let vectorize_options = xmlvec::core::VectorizeOptions {
+            drop_unrepresentable: options.drop_unrepresentable,
+        };
+        let vec_doc =
+            xmlvec::core::vectorize_with(&doc, &vectorize_options).unwrap_or_else(|e| fail(e));
+        Store::save(&dir, &vec_doc, options.compaction).unwrap_or_else(|e| fail(e))
+    } else {
+        let file =
+            std::fs::File::open(xml_file).unwrap_or_else(|e| fail(format!("{xml_file}: {e}")));
+        let report = Store::ingest_stream(&dir, std::io::BufReader::new(file), &options)
+            .unwrap_or_else(|e| fail(e));
+        if report.spill_pages > 0 {
+            println!(
+                "spilled {} pages ({} pool misses, {} evictions)",
+                report.spill_pages, report.pager.misses, report.pager.evictions
+            );
+        }
+        report.catalog
+    };
+    println!(
+        "ingested {} -> {} ({} paths, {} nodes, {} text bytes)",
+        xml_file,
+        dir.display(),
+        catalog.vectors.len(),
+        catalog.node_count,
+        catalog.text_bytes
+    );
+}
+
+fn stats(args: &[String]) {
+    let [dir] = args else { usage() };
+    let dir = Path::new(dir);
+    let catalog_text = std::fs::read_to_string(dir.join("catalog.json"))
+        .unwrap_or_else(|e| fail(format!("{}: {e}", dir.join("catalog.json").display())));
+    let catalog = Catalog::parse(&catalog_text).unwrap_or_else(|e| fail(e));
+    let skeleton_bytes = std::fs::read(dir.join("skeleton.vxsk"))
+        .unwrap_or_else(|e| fail(format!("{}: {e}", dir.join("skeleton.vxsk").display())));
+    let (skeleton, root) = xmlvec::skeleton::read(&skeleton_bytes).unwrap_or_else(|e| fail(e));
+    let sizes = StoreSizes::measure(dir).unwrap_or_else(|e| fail(e));
+
+    println!("store        {}", dir.display());
+    println!(
+        "nodes        {} expanded, {} DAG nodes ({:.1}x compression), {} names",
+        catalog.node_count,
+        skeleton.len(),
+        catalog.node_count as f64 / skeleton.len() as f64,
+        skeleton.names().len()
+    );
+    debug_assert_eq!(skeleton.expanded_size(root), catalog.node_count);
+    println!(
+        "bytes        {} skeleton, {} vectors, {} catalog, {} total",
+        sizes.skeleton_bytes,
+        sizes.vector_bytes,
+        sizes.catalog_bytes,
+        sizes.total()
+    );
+    println!("text bytes   {}", catalog.text_bytes);
+    println!("vectors      {}", catalog.vectors.len());
+    for entry in &catalog.vectors {
+        println!(
+            "  {:<12} {:>8} values {:>10} data bytes  {}",
+            entry.file, entry.count, entry.data_bytes, entry.path
+        );
+    }
+}

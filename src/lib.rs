@@ -19,6 +19,7 @@
 //! | [`vx_storage`] | varints, paged file access |
 //! | [`vx_skeleton`] | hash-consed DAG, `.vxsk` format, path index |
 //! | [`vx_vector`] | `.vec` format, skip index, cursors |
+//! | [`vx_ingest`] | streaming event-to-store pipeline |
 //! | [`vx_core`] | vectorize / reconstruct, persistent store |
 //! | [`vx_xquery`] | XQ parsing + desugaring |
 //! | [`vx_engine`] | query graphs, vectorized `reduce`, oracle |
@@ -42,6 +43,7 @@ pub use vx_bench as bench;
 pub use vx_core as core;
 pub use vx_data as data;
 pub use vx_engine as engine;
+pub use vx_ingest as ingest;
 pub use vx_skeleton as skeleton;
 pub use vx_storage as storage;
 pub use vx_vector as vector;
@@ -59,6 +61,7 @@ pub enum Error {
     Storage(vx_storage::StorageError),
     Skeleton(vx_skeleton::SkeletonError),
     Vector(vx_vector::VectorError),
+    Ingest(vx_ingest::IngestError),
     Core(vx_core::CoreError),
     Xq(vx_xquery::XqError),
     Engine(vx_engine::EngineError),
@@ -73,6 +76,7 @@ impl fmt::Display for Error {
             Error::Storage(e) => write!(f, "{e}"),
             Error::Skeleton(e) => write!(f, "{e}"),
             Error::Vector(e) => write!(f, "{e}"),
+            Error::Ingest(e) => write!(f, "{e}"),
             Error::Core(e) => write!(f, "{e}"),
             Error::Xq(e) => write!(f, "{e}"),
             Error::Engine(e) => write!(f, "{e}"),
@@ -89,6 +93,7 @@ impl std::error::Error for Error {
             Error::Storage(e) => Some(e),
             Error::Skeleton(e) => Some(e),
             Error::Vector(e) => Some(e),
+            Error::Ingest(e) => Some(e),
             Error::Core(e) => Some(e),
             Error::Xq(e) => Some(e),
             Error::Engine(e) => Some(e),
@@ -112,6 +117,7 @@ from_error!(Xml, vx_xml::XmlError);
 from_error!(Storage, vx_storage::StorageError);
 from_error!(Skeleton, vx_skeleton::SkeletonError);
 from_error!(Vector, vx_vector::VectorError);
+from_error!(Ingest, vx_ingest::IngestError);
 from_error!(Core, vx_core::CoreError);
 from_error!(Xq, vx_xquery::XqError);
 from_error!(Engine, vx_engine::EngineError);
