@@ -1,15 +1,16 @@
 //! `vx-bench` — measurement harness (DESIGN.md row 10).
 //!
-//! Produced the checked-in `bench_results/` (stores built from MedLine-
-//! and SkyServer-shaped corpora at several sizes). This build carries
-//! size accounting for a store directory plus the ingest-throughput
-//! stopwatch behind the `bench_ingest` binary (which emits
-//! `BENCH_ingest.json`); query-side timing and plots return in a later
-//! PR (see ROADMAP.md).
+//! Carries size accounting for a store directory, the ingest-throughput
+//! stopwatch behind the `bench_ingest` binary (`BENCH_ingest.json`), and
+//! the paper's evaluation tables: `table1` measures dataset/store
+//! statistics over all four corpora (`BENCH_table1.json`), `table3`
+//! measures cold query times for the 13-query workload
+//! (`BENCH_table3.json`). EXPERIMENTS.md is written from those files.
 
 use std::path::Path;
 use std::time::Instant;
-use vx_core::{CoreError, IngestOptions, Store};
+use vx_core::{CoreError, IngestOptions, Store, VecDoc};
+use vx_engine::{Query, QueryOutput};
 
 /// Size breakdown of one persisted store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +111,169 @@ pub fn time_ingest(dir: &Path, xml: &str, iters: u32) -> Result<IngestTiming, Co
     })
 }
 
+/// The four bench datasets in paper order, keyed by the `doc("…")` names
+/// the workload queries use.
+pub const DATASETS: [&str; 4] = ["xk", "tb", "ml", "ss"];
+
+/// Per-corpus record counts for a bench run. "Records" means items for
+/// XMark, sentences for TreeBank, citations for MedLine, and rows for
+/// SkyServer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchScales {
+    pub xk_items: usize,
+    pub tb_sentences: usize,
+    pub ml_citations: usize,
+    pub ss_rows: usize,
+}
+
+impl BenchScales {
+    /// The committed-numbers scale: roughly 1/100 of the paper's
+    /// gigabyte-scale corpora, sized so a full `table1` + `table3` run
+    /// finishes in minutes on a laptop.
+    pub const DEFAULT: BenchScales = BenchScales {
+        xk_items: 2000,
+        tb_sentences: 10_000,
+        ml_citations: 20_000,
+        ss_rows: 20_000,
+    };
+
+    /// Reads `VX_BENCH_XK`/`VX_BENCH_TB`/`VX_BENCH_ML`/`VX_BENCH_SS`
+    /// over the defaults — the env parameterization the CI smoke step
+    /// uses to run the harness at tiny scales.
+    pub fn from_env() -> BenchScales {
+        let get = |name: &str, default: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let d = BenchScales::DEFAULT;
+        BenchScales {
+            xk_items: get("VX_BENCH_XK", d.xk_items),
+            tb_sentences: get("VX_BENCH_TB", d.tb_sentences),
+            ml_citations: get("VX_BENCH_ML", d.ml_citations),
+            ss_rows: get("VX_BENCH_SS", d.ss_rows),
+        }
+    }
+
+    pub fn is_default(&self) -> bool {
+        *self == BenchScales::DEFAULT
+    }
+
+    /// The scale for one dataset key ("xk" | "tb" | "ml" | "ss").
+    pub fn records(&self, dataset: &str) -> usize {
+        match dataset {
+            "xk" => self.xk_items,
+            "tb" => self.tb_sentences,
+            "ml" => self.ml_citations,
+            "ss" => self.ss_rows,
+            other => panic!("unknown dataset `{other}`"),
+        }
+    }
+}
+
+/// Generates one bench corpus at the given scale. Seed 42 everywhere:
+/// the committed numbers must be reproducible bit for bit.
+pub fn corpus(dataset: &str, records: usize) -> vx_xml::Document {
+    match dataset {
+        "xk" => vx_data::xmark(42, records),
+        "tb" => vx_data::treebank(42, records),
+        "ml" => vx_data::medline(42, records),
+        "ss" => vx_data::skyserver(42, records),
+        other => panic!("unknown dataset `{other}`"),
+    }
+}
+
+/// Generates, serializes, and stream-ingests one corpus into `dir`
+/// (with per-vector dictionary compaction, the paper's compacted-store
+/// configuration), returning the input size and ingest wall time.
+pub fn build_corpus_store(
+    dir: &Path,
+    dataset: &str,
+    records: usize,
+) -> Result<CorpusBuild, CoreError> {
+    let doc = corpus(dataset, records);
+    let xml = vx_xml::write_document(&doc, &vx_xml::WriteOptions::compact());
+    let _ = std::fs::remove_dir_all(dir);
+    let options = IngestOptions {
+        compaction: vx_core::Compaction::Auto,
+        ..IngestOptions::default()
+    };
+    let start = Instant::now();
+    let report = Store::ingest_stream(dir, xml.as_bytes(), &options)?;
+    Ok(CorpusBuild {
+        input_bytes: xml.len() as u64,
+        ingest_secs: start.elapsed().as_secs_f64(),
+        catalog: report.catalog,
+    })
+}
+
+/// The result of [`build_corpus_store`].
+pub struct CorpusBuild {
+    pub input_bytes: u64,
+    pub ingest_secs: f64,
+    pub catalog: vx_core::Catalog,
+}
+
+/// One cold timing of one workload query: the store is re-opened (fully
+/// re-decoded from disk) for every repetition, so no vector or skeleton
+/// state survives between runs — process-cold, as close as a
+/// userspace-only harness gets to the paper's "cold numbers".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryTiming {
+    /// Output values produced (identical across repetitions; the
+    /// differential suite pins correctness at test scale).
+    pub cardinality: u64,
+    /// Best-of-reps store open (decode) seconds.
+    pub open_secs: f64,
+    /// Best-of-reps evaluation seconds.
+    pub best_secs: f64,
+    /// Mean evaluation seconds over the repetitions.
+    pub mean_secs: f64,
+}
+
+/// Times `xq` against the store in `dir` (registered under `dataset` for
+/// `doc("…")` resolution), cold, best and mean of `reps` runs.
+pub fn time_query(
+    dir: &Path,
+    dataset: &str,
+    xq: &str,
+    reps: u32,
+) -> Result<QueryTiming, vx_engine::EngineError> {
+    let reps = reps.max(1);
+    let compiled = Query::new(xq)?;
+    let mut open_secs = f64::INFINITY;
+    let mut best_secs = f64::INFINITY;
+    let mut total_secs = 0.0;
+    let mut cardinality = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (doc, _catalog) = Store::open(dir)?;
+        open_secs = open_secs.min(start.elapsed().as_secs_f64());
+
+        let corpus: Vec<(&str, &VecDoc)> = vec![(dataset, &doc)];
+        let start = Instant::now();
+        let output = compiled.run_corpus(&corpus)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        best_secs = best_secs.min(elapsed);
+        total_secs += elapsed;
+        // Materialization (counting values / reconstructing constructor
+        // results) happens outside the timed window on purpose: the
+        // paper times evaluation, and `strings()` on a Document output
+        // rebuilds a DOM the engine itself never builds.
+        cardinality = match &output {
+            QueryOutput::Values(values) => values.len() as u64,
+            QueryOutput::Document(_) => output.strings().len() as u64,
+        };
+    }
+    Ok(QueryTiming {
+        cardinality,
+        open_secs,
+        best_secs,
+        mean_secs: total_secs / f64::from(reps),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +302,35 @@ mod tests {
         assert!(timing.dom_secs > 0.0 && timing.dom_secs.is_finite());
         assert!(timing.stream_secs > 0.0 && timing.stream_secs.is_finite());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn builds_and_times_every_bench_corpus() {
+        let base = std::env::temp_dir().join(format!("vx-bench-corpora-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let scales = BenchScales {
+            xk_items: 24,
+            tb_sentences: 30,
+            ml_citations: 40,
+            ss_rows: 50,
+        };
+        assert!(!scales.is_default());
+        for dataset in DATASETS {
+            let dir = base.join(dataset);
+            let build = build_corpus_store(&dir, dataset, scales.records(dataset)).unwrap();
+            assert!(build.input_bytes > 0 && !build.catalog.vectors.is_empty());
+            // Each dataset's workload queries run cold against its store.
+            for spec in vx_data::workload().iter().filter(|q| q.dataset == dataset) {
+                let timing = time_query(&dir, dataset, spec.xq, 1)
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+                assert!(timing.best_secs.is_finite(), "{}", spec.name);
+                assert!(
+                    timing.best_secs <= timing.mean_secs + 1e-12,
+                    "{}",
+                    spec.name
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

@@ -1,11 +1,24 @@
 //! `vx-data` — deterministic test-corpus generators (DESIGN.md row 8).
 //!
-//! The paper evaluates VX on MedLine (bibliographic, deep and regular)
-//! and SkyServer (astronomical, wide and flat). The original dumps are
-//! not redistributable, so tests and benchmarks use generators that mimic
-//! their shapes. Generation is fully deterministic: the same seed always
-//! yields the same document, so stores built from them are reproducible
-//! byte-for-byte.
+//! The paper evaluates VX on four corpora: XMark (auction site, rich
+//! references, the join benchmark), TreeBank (parsed English, recursive
+//! grammar, the vector-explosion stress case), MedLine (bibliographic,
+//! deep and regular), and SkyServer (astronomical, wide and flat). The
+//! original dumps are not redistributable, so tests and benchmarks use
+//! generators that mimic their shapes. Generation is fully
+//! deterministic: the same seed always yields the same document, so
+//! stores built from them are reproducible byte-for-byte.
+//!
+//! [`workload`] carries the paper's 13 benchmark queries (Table 2),
+//! adapted to the supported XQ fragment.
+
+mod treebank;
+mod workload;
+mod xmark;
+
+pub use treebank::treebank;
+pub use workload::{workload, QuerySpec};
+pub use xmark::xmark;
 
 use vx_xml::{Document, Element};
 
@@ -129,7 +142,7 @@ pub fn skyserver(seed: u64, rows: usize) -> Document {
     Document::from_root(table)
 }
 
-fn title(rng: &mut Rng) -> String {
+pub(crate) fn title(rng: &mut Rng) -> String {
     let words = rng.range(3, 8);
     let mut out = capitalized(rng);
     for _ in 1..words {
@@ -140,7 +153,7 @@ fn title(rng: &mut Rng) -> String {
     out
 }
 
-fn sentence(rng: &mut Rng, words: u64) -> String {
+pub(crate) fn sentence(rng: &mut Rng, words: u64) -> String {
     let mut out = capitalized(rng);
     for _ in 1..words {
         let len = rng.range(2, 10) as usize;
@@ -151,7 +164,7 @@ fn sentence(rng: &mut Rng, words: u64) -> String {
     out
 }
 
-fn capitalized(rng: &mut Rng) -> String {
+pub(crate) fn capitalized(rng: &mut Rng) -> String {
     let len = rng.range(4, 9) as usize;
     let w = rng.word(len);
     let mut chars = w.chars();

@@ -1,0 +1,189 @@
+//! Deterministic TreeBank-shaped generator.
+//!
+//! The Penn TreeBank corpus is parsed English: every sentence is a parse
+//! tree over a recursive nonterminal grammar (`S`, `NP`, `VP`, `PP`,
+//! `SBAR`, …) with part-of-speech leaves holding the words. Because
+//! vectors are keyed by *root-to-text tag paths*, the recursion makes
+//! the path set explode — the paper reports 221,545 vectors for 54 MB of
+//! TreeBank versus 368 for an 80 GB SkyServer export — which is exactly
+//! why it is the stress case for path-partitioned stores. This generator
+//! reproduces that character: a small probabilistic grammar, expanded
+//! with a depth budget, yields thousands of distinct paths at bench
+//! scale while staying fully deterministic per seed.
+
+use crate::Rng;
+use vx_xml::{Document, Element};
+
+const DETS: [&str; 4] = ["the", "a", "this", "every"];
+const PRPS: [&str; 4] = ["it", "he", "she", "they"];
+const INS: [&str; 6] = ["in", "on", "of", "with", "under", "over"];
+const CCS: [&str; 2] = ["and", "or"];
+
+/// Noun/verb/adjective vocabularies are synthesized from an index so
+/// their size (which controls join fan-out in TQ3-style queries) is an
+/// explicit constant rather than a hand-written list.
+const NOUNS: u64 = 400;
+const VERBS: u64 = 120;
+const ADJS: u64 = 80;
+
+fn vocab(prefix: char, idx: u64) -> String {
+    format!("{prefix}{idx}")
+}
+
+/// A TreeBank-shaped document: `FILE` root over `sentences` parse trees.
+/// Same seed, same document, always.
+pub fn treebank(seed: u64, sentences: usize) -> Document {
+    let mut rng = Rng::new(seed);
+    let mut file = Element::new("FILE");
+    for _ in 0..sentences.max(1) {
+        file.children.push(gen_s(&mut rng, 6).into_node());
+    }
+    Document::from_root(file)
+}
+
+/// S → NP VP PP?
+fn gen_s(rng: &mut Rng, depth: u32) -> Element {
+    let mut s = Element::new("S");
+    s.children.push(gen_np(rng, depth).into_node());
+    s.children.push(gen_vp(rng, depth).into_node());
+    if depth > 0 && rng.below(4) == 0 {
+        s.children.push(gen_pp(rng, depth - 1).into_node());
+    }
+    s
+}
+
+/// NP → DET? JJ* NN | NP PP | NP CC NP | PRP
+fn gen_np(rng: &mut Rng, depth: u32) -> Element {
+    let mut np = Element::new("NP");
+    match if depth == 0 { 0 } else { rng.below(6) } {
+        1 => {
+            // Recursive attachment: NP → NP PP.
+            np.children.push(gen_np(rng, depth - 1).into_node());
+            np.children.push(gen_pp(rng, depth - 1).into_node());
+        }
+        2 => {
+            // Coordination: NP → NP CC NP.
+            np.children.push(gen_np(rng, depth - 1).into_node());
+            np.children.push(
+                Element::new("CC")
+                    .with_text(CCS[rng.below(2) as usize].to_string())
+                    .into_node(),
+            );
+            np.children.push(gen_np(rng, depth - 1).into_node());
+        }
+        3 => {
+            np.children.push(
+                Element::new("PRP")
+                    .with_text(PRPS[rng.below(4) as usize].to_string())
+                    .into_node(),
+            );
+        }
+        _ => {
+            // Flat NP: DET? JJ* NN.
+            if rng.below(2) == 0 {
+                np.children.push(
+                    Element::new("DET")
+                        .with_text(DETS[rng.below(4) as usize].to_string())
+                        .into_node(),
+                );
+            }
+            for _ in 0..rng.below(3) {
+                np.children.push(
+                    Element::new("JJ")
+                        .with_text(vocab('j', rng.below(ADJS)))
+                        .into_node(),
+                );
+            }
+            np.children.push(
+                Element::new("NN")
+                    .with_text(vocab('n', rng.below(NOUNS)))
+                    .into_node(),
+            );
+        }
+    }
+    np
+}
+
+/// VP → VB NP? PP? | VB SBAR
+fn gen_vp(rng: &mut Rng, depth: u32) -> Element {
+    let mut vp = Element::new("VP");
+    vp.children.push(
+        Element::new("VB")
+            .with_text(vocab('v', rng.below(VERBS)))
+            .into_node(),
+    );
+    if depth > 0 && rng.below(5) == 0 {
+        // Clausal complement: the deep-recursion branch (`//` stress).
+        vp.children.push(
+            Element::new("SBAR")
+                .with_child(Element::new("IN").with_text(INS[rng.below(6) as usize].to_string()))
+                .with_child(gen_s(rng, depth - 1))
+                .into_node(),
+        );
+        return vp;
+    }
+    if rng.below(3) > 0 {
+        vp.children
+            .push(gen_np(rng, depth.saturating_sub(1)).into_node());
+    }
+    if depth > 0 && rng.below(3) == 0 {
+        vp.children.push(gen_pp(rng, depth - 1).into_node());
+    }
+    vp
+}
+
+/// PP → IN NP
+fn gen_pp(rng: &mut Rng, depth: u32) -> Element {
+    Element::new("PP")
+        .with_child(Element::new("IN").with_text(INS[rng.below(6) as usize].to_string()))
+        .with_child(gen_np(rng, depth.saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn treebank_is_deterministic() {
+        let opts = vx_xml::WriteOptions::compact();
+        assert_eq!(
+            vx_xml::write_document(&treebank(9, 30), &opts),
+            vx_xml::write_document(&treebank(9, 30), &opts)
+        );
+        assert_ne!(
+            vx_xml::write_document(&treebank(10, 30), &opts),
+            vx_xml::write_document(&treebank(9, 30), &opts)
+        );
+    }
+
+    fn collect_paths(e: &Element, prefix: &str, out: &mut BTreeSet<String>) {
+        let path = format!("{prefix}/{}", e.name);
+        if e.children
+            .iter()
+            .any(|c| matches!(c, vx_xml::Node::Text(_)))
+        {
+            out.insert(path.clone());
+        }
+        for child in e.child_elements() {
+            collect_paths(child, &path, out);
+        }
+    }
+
+    #[test]
+    fn paths_explode_with_recursion() {
+        // The defining TreeBank property: distinct text paths grow far
+        // beyond the tag vocabulary (12 tags here) because recursion
+        // multiplies contexts.
+        let doc = treebank(1, 400);
+        let mut paths = BTreeSet::new();
+        collect_paths(&doc.root, "", &mut paths);
+        assert!(
+            paths.len() > 200,
+            "expected an exploding path set, got {}",
+            paths.len()
+        );
+        // And every sentence is rooted the same way.
+        assert!(doc.root.child_elements().all(|s| s.name == "S"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Deterministic XMark-shaped generator.
+//!
+//! XMark (Schmidt et al., VLDB 2002) models an auction site: a `site`
+//! root over regional item listings, a category taxonomy, registered
+//! people, and open/closed auctions that cross-reference items and
+//! people through `@person`/`@item` id attributes. That reference
+//! structure is what makes it the paper's join benchmark (KQ1–KQ4 are
+//! XMark Q5/Q11/Q12/Q13). The shape here is a faithful subset of the
+//! XMark DTD — enough depth for `*`/`//` patterns and enough id
+//! vocabulary for equality joins — scaled by an item count instead of
+//! the original's scaling factor.
+
+use crate::Rng;
+use vx_xml::{Document, Element};
+
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+
+const COUNTRIES: [&str; 6] = [
+    "United States",
+    "Germany",
+    "Japan",
+    "Kenya",
+    "Brazil",
+    "Australia",
+];
+
+const EDUCATION: [&str; 4] = ["High School", "College", "Graduate School", "Other"];
+
+/// An XMark-shaped document with `items` item listings spread over the
+/// six regions, `items/2` people, `items/2` open auctions, and
+/// `items/4` closed auctions. Same seed, same document, always.
+pub fn xmark(seed: u64, items: usize) -> Document {
+    let mut rng = Rng::new(seed);
+    let items = items.max(2);
+    let people = (items / 2).max(2);
+    let opens = (items / 2).max(2);
+    let closeds = (items / 4).max(1);
+    let categories = (items / 20).max(2);
+
+    let mut site = Element::new("site");
+    site.children
+        .push(gen_regions(&mut rng, items, categories).into_node());
+    site.children
+        .push(gen_categories(&mut rng, categories).into_node());
+    site.children
+        .push(gen_people(&mut rng, people, categories, opens).into_node());
+    site.children
+        .push(gen_open_auctions(&mut rng, opens, items, people).into_node());
+    site.children
+        .push(gen_closed_auctions(&mut rng, closeds, items, people).into_node());
+    Document::from_root(site)
+}
+
+fn gen_regions(rng: &mut Rng, items: usize, categories: usize) -> Element {
+    let mut regions = Element::new("regions");
+    let mut region_elements: Vec<Element> = REGIONS.iter().map(|r| Element::new(*r)).collect();
+    for i in 0..items {
+        let region = rng.below(REGIONS.len() as u64) as usize;
+        region_elements[region]
+            .children
+            .push(gen_item(rng, i, categories).into_node());
+    }
+    for region in region_elements {
+        regions.children.push(region.into_node());
+    }
+    regions
+}
+
+fn gen_item(rng: &mut Rng, id: usize, categories: usize) -> Element {
+    // "United States" is over-weighted so location filters (KQ1) stay
+    // selective but never empty, as in the original distribution.
+    let location = if rng.below(4) == 0 {
+        COUNTRIES[0]
+    } else {
+        COUNTRIES[rng.below(COUNTRIES.len() as u64) as usize]
+    };
+    let mut item = Element::new("item").with_attr("id", format!("item{id}"));
+    item.children.push(
+        Element::new("location")
+            .with_text(location.to_string())
+            .into_node(),
+    );
+    item.children.push(
+        Element::new("quantity")
+            .with_text(format!("{}", rng.range(1, 5)))
+            .into_node(),
+    );
+    item.children.push(
+        Element::new("name")
+            .with_text(crate::title(rng))
+            .into_node(),
+    );
+    item.children.push(
+        Element::new("payment")
+            .with_text("Creditcard".to_string())
+            .into_node(),
+    );
+    item.children.push(
+        Element::new("description")
+            .with_child(Element::new("text").with_text(crate::sentence(rng, 10)))
+            .into_node(),
+    );
+    item.children
+        .push(Element::new("shipping").with_text(ship(rng)).into_node());
+    for _ in 0..rng.range(1, 2) {
+        item.children.push(
+            Element::new("incategory")
+                .with_attr(
+                    "category",
+                    format!("category{}", rng.below(categories as u64)),
+                )
+                .into_node(),
+        );
+    }
+    if rng.below(3) == 0 {
+        item.children.push(
+            Element::new("mailbox")
+                .with_child(
+                    Element::new("mail")
+                        .with_child(Element::new("from").with_text(crate::capitalized(rng)))
+                        .with_child(Element::new("to").with_text(crate::capitalized(rng)))
+                        .with_child(Element::new("date").with_text(date(rng)))
+                        .with_child(Element::new("text").with_text(crate::sentence(rng, 8))),
+                )
+                .into_node(),
+        );
+    }
+    item
+}
+
+fn gen_categories(rng: &mut Rng, count: usize) -> Element {
+    let mut categories = Element::new("categories");
+    for i in 0..count {
+        categories.children.push(
+            Element::new("category")
+                .with_attr("id", format!("category{i}"))
+                .with_child(Element::new("name").with_text(crate::capitalized(rng)))
+                .with_child(
+                    Element::new("description")
+                        .with_child(Element::new("text").with_text(crate::sentence(rng, 6))),
+                )
+                .into_node(),
+        );
+    }
+    categories
+}
+
+fn gen_people(rng: &mut Rng, count: usize, categories: usize, opens: usize) -> Element {
+    let mut people = Element::new("people");
+    for i in 0..count {
+        let mut person = Element::new("person").with_attr("id", format!("person{i}"));
+        let name = format!("{} {}", crate::capitalized(rng), crate::capitalized(rng));
+        person.children.push(
+            Element::new("emailaddress")
+                .with_text(format!("mailto:{}@example.net", rng.word(7)))
+                .into_node(),
+        );
+        person
+            .children
+            .insert(0, Element::new("name").with_text(name).into_node());
+        if rng.below(2) == 0 {
+            person.children.push(
+                Element::new("phone")
+                    .with_text(format!(
+                        "+{} ({}) {}",
+                        rng.range(1, 99),
+                        rng.range(10, 999),
+                        rng.range(1_000_000, 9_999_999)
+                    ))
+                    .into_node(),
+            );
+        }
+        if rng.below(2) == 0 {
+            person.children.push(
+                Element::new("address")
+                    .with_child(Element::new("street").with_text(format!(
+                        "{} {} St",
+                        rng.range(1, 99),
+                        crate::capitalized(rng)
+                    )))
+                    .with_child(Element::new("city").with_text(crate::capitalized(rng)))
+                    .with_child(Element::new("country").with_text(
+                        COUNTRIES[rng.below(COUNTRIES.len() as u64) as usize].to_string(),
+                    ))
+                    .with_child(
+                        Element::new("zipcode").with_text(format!("{}", rng.range(10_000, 99_999))),
+                    )
+                    .into_node(),
+            );
+        }
+        if rng.below(3) > 0 {
+            let mut profile = Element::new("profile").with_attr("income", money(rng, 100_000));
+            for _ in 0..rng.below(3) {
+                profile.children.push(
+                    Element::new("interest")
+                        .with_attr(
+                            "category",
+                            format!("category{}", rng.below(categories as u64)),
+                        )
+                        .into_node(),
+                );
+            }
+            if rng.below(2) == 0 {
+                profile.children.push(
+                    Element::new("education")
+                        .with_text(EDUCATION[rng.below(4) as usize].to_string())
+                        .into_node(),
+                );
+            }
+            person.children.push(profile.into_node());
+        }
+        if rng.below(4) == 0 {
+            person.children.push(
+                Element::new("creditcard")
+                    .with_text(format!(
+                        "{} {} {} {}",
+                        rng.range(1000, 9999),
+                        rng.range(1000, 9999),
+                        rng.range(1000, 9999),
+                        rng.range(1000, 9999)
+                    ))
+                    .into_node(),
+            );
+        }
+        if rng.below(4) == 0 {
+            person.children.push(
+                Element::new("watches")
+                    .with_child(Element::new("watch").with_attr(
+                        "open_auction",
+                        format!("open_auction{}", rng.below(opens as u64)),
+                    ))
+                    .into_node(),
+            );
+        }
+        people.children.push(person.into_node());
+    }
+    people
+}
+
+fn gen_open_auctions(rng: &mut Rng, count: usize, items: usize, people: usize) -> Element {
+    let mut auctions = Element::new("open_auctions");
+    for i in 0..count {
+        let mut auction = Element::new("open_auction").with_attr("id", format!("open_auction{i}"));
+        auction.children.push(
+            Element::new("initial")
+                .with_text(money(rng, 200))
+                .into_node(),
+        );
+        if rng.below(2) == 0 {
+            auction.children.push(
+                Element::new("reserve")
+                    .with_text(money(rng, 400))
+                    .into_node(),
+            );
+        }
+        for _ in 0..rng.below(4) {
+            auction.children.push(
+                Element::new("bidder")
+                    .with_child(Element::new("date").with_text(date(rng)))
+                    .with_child(
+                        Element::new("personref")
+                            .with_attr("person", format!("person{}", rng.below(people as u64))),
+                    )
+                    .with_child(Element::new("increase").with_text(money(rng, 50)))
+                    .into_node(),
+            );
+        }
+        auction.children.push(
+            Element::new("current")
+                .with_text(money(rng, 600))
+                .into_node(),
+        );
+        auction.children.push(
+            Element::new("itemref")
+                .with_attr("item", format!("item{}", rng.below(items as u64)))
+                .into_node(),
+        );
+        auction.children.push(
+            Element::new("seller")
+                .with_attr("person", format!("person{}", rng.below(people as u64)))
+                .into_node(),
+        );
+        auction.children.push(
+            Element::new("quantity")
+                .with_text(format!("{}", rng.range(1, 5)))
+                .into_node(),
+        );
+        auction.children.push(
+            Element::new("type")
+                .with_text(
+                    if rng.below(2) == 0 {
+                        "Regular"
+                    } else {
+                        "Featured"
+                    }
+                    .to_string(),
+                )
+                .into_node(),
+        );
+        auction.children.push(
+            Element::new("interval")
+                .with_child(Element::new("start").with_text(date(rng)))
+                .with_child(Element::new("end").with_text(date(rng)))
+                .into_node(),
+        );
+        auctions.children.push(auction.into_node());
+    }
+    auctions
+}
+
+fn gen_closed_auctions(rng: &mut Rng, count: usize, items: usize, people: usize) -> Element {
+    let mut auctions = Element::new("closed_auctions");
+    for _ in 0..count {
+        auctions.children.push(
+            Element::new("closed_auction")
+                .with_child(
+                    Element::new("seller")
+                        .with_attr("person", format!("person{}", rng.below(people as u64))),
+                )
+                .with_child(
+                    Element::new("buyer")
+                        .with_attr("person", format!("person{}", rng.below(people as u64))),
+                )
+                .with_child(
+                    Element::new("itemref")
+                        .with_attr("item", format!("item{}", rng.below(items as u64))),
+                )
+                .with_child(Element::new("price").with_text(money(rng, 1000)))
+                .with_child(Element::new("date").with_text(date(rng)))
+                .with_child(Element::new("quantity").with_text(format!("{}", rng.range(1, 5))))
+                .with_child(
+                    Element::new("type").with_text(
+                        if rng.below(2) == 0 {
+                            "Regular"
+                        } else {
+                            "Featured"
+                        }
+                        .to_string(),
+                    ),
+                )
+                .with_child(
+                    Element::new("annotation")
+                        .with_child(
+                            Element::new("author")
+                                .with_attr("person", format!("person{}", rng.below(people as u64))),
+                        )
+                        .with_child(
+                            Element::new("description").with_child(
+                                Element::new("text").with_text(crate::sentence(rng, 9)),
+                            ),
+                        ),
+                )
+                .into_node(),
+        );
+    }
+    auctions
+}
+
+fn money(rng: &mut Rng, whole: u64) -> String {
+    format!("{}.{:02}", rng.below(whole), rng.below(100))
+}
+
+fn date(rng: &mut Rng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.range(1, 12),
+        rng.range(1, 28),
+        rng.range(1998, 2004)
+    )
+}
+
+fn ship(rng: &mut Rng) -> String {
+    match rng.below(3) {
+        0 => "Will ship only within country".to_string(),
+        1 => "Will ship internationally".to_string(),
+        _ => "Buyer pays fixed shipping charges".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xmark_is_deterministic_and_shaped() {
+        let a = xmark(5, 40);
+        let b = xmark(5, 40);
+        let opts = vx_xml::WriteOptions::compact();
+        assert_eq!(
+            vx_xml::write_document(&a, &opts),
+            vx_xml::write_document(&b, &opts)
+        );
+        assert_eq!(a.root.name, "site");
+        let sections: Vec<&str> = a.root.child_elements().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            sections,
+            [
+                "regions",
+                "categories",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
+        );
+        // Items are spread over the six regions and total the request.
+        let regions = a.root.child("regions").unwrap();
+        let total: usize = regions
+            .child_elements()
+            .map(|r| r.child_elements().count())
+            .sum();
+        assert_eq!(total, 40);
+        // Every open auction's seller resolves to a generated person id.
+        let people = a.root.child("people").unwrap().child_elements().count();
+        for auction in a.root.child("open_auctions").unwrap().child_elements() {
+            let seller = auction.child("seller").unwrap().attr("person").unwrap();
+            let idx: usize = seller.strip_prefix("person").unwrap().parse().unwrap();
+            assert!(idx < people);
+        }
+    }
+}

@@ -1,39 +1,71 @@
-//! `vx` — minimal command-line front end for the vectorized XML store.
+//! `vx` — command-line front end for the vectorized XML store.
 //!
 //! ```text
 //! vx ingest <xml-file> <store-dir> [--auto] [--dom] [--drop-misc] [--frames N]
 //! vx stats <store-dir>
+//! vx query <store-dir> <xquery> [--out values|xml]
+//! vx reconstruct <store-dir> [--out <file>]
 //! ```
 //!
 //! `ingest` builds a store from an XML file, by default through the
 //! streaming bounded-memory pipeline (`Store::ingest_stream`); `--dom`
 //! forces the parse-then-vectorize path (both produce byte-identical
-//! stores). `stats` summarizes a store from its catalog and skeleton
-//! without loading any vectors.
+//! stores). `stats` summarizes a store from its catalog and skeleton and
+//! refuses stores that fail the integrity gate (every vector file must
+//! decode and agree with the catalog). `query` compiles an XQ query and
+//! reduces it against the store's `VEC(T)`; `reconstruct` regenerates
+//! the original document text (byte-identical to the compact writer's
+//! serialization of the ingested XML).
+//!
+//! Exit codes are part of the interface and pinned by `tests/cli.rs`:
+//! `0` success, `1` operational failure (missing or damaged store, query
+//! error, I/O error), `2` usage error (unknown command or flag, missing
+//! operand).
 
+use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use xmlvec::bench::StoreSizes;
-use xmlvec::core::{Catalog, Compaction, IngestOptions, Store};
+use xmlvec::core::{Catalog, Compaction, IngestOptions, Store, VecDoc};
+use xmlvec::{Query, QueryOutput};
 
 const USAGE: &str = "usage:
   vx ingest <xml-file> <store-dir> [--auto] [--dom] [--drop-misc] [--frames N]
   vx stats <store-dir>
+  vx query <store-dir> <xquery> [--out values|xml]
+  vx reconstruct <store-dir> [--out <file>]
 
 ingest options:
   --auto       per-vector dictionary compaction when smaller (default: plain)
   --dom        build via the in-memory DOM path instead of streaming
   --drop-misc  drop comments/processing instructions instead of erroring
-  --frames N   spill buffer-pool frames for streaming ingest (default: 64)";
+  --frames N   spill buffer-pool frames for streaming ingest (default: 64)
 
+query options:
+  --out values one projected text value per line (default)
+  --out xml    serialize the result as an XML document
+
+reconstruct options:
+  --out FILE   write the XML to FILE instead of stdout";
+
+/// Operational failure: the command was well-formed but could not be
+/// carried out (missing store, damaged file, bad query, I/O error).
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("vx: {message}");
+    exit(1);
+}
+
+/// Usage error: the command line itself is malformed.
+fn fail_usage(message: impl std::fmt::Display) -> ! {
+    eprintln!("vx: {message}");
+    eprintln!("{USAGE}");
     exit(2);
 }
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
-    exit(1);
+    exit(2);
 }
 
 fn main() {
@@ -41,8 +73,40 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("ingest") => ingest(&args[1..]),
         Some("stats") => stats(&args[1..]),
-        _ => usage(),
+        Some("query") => query(&args[1..]),
+        Some("reconstruct") => reconstruct(&args[1..]),
+        Some(other) => fail_usage(format!("unknown command `{other}`")),
+        None => usage(),
     }
+}
+
+/// Splits `args` into positionals and handles one optional `--out VALUE`
+/// flag; any other flag is a usage error.
+fn positionals_and_out<'a>(
+    args: &'a [String],
+    command: &str,
+) -> (Vec<&'a String>, Option<&'a str>) {
+    let mut positional = Vec::new();
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| fail_usage(format!("{command}: --out needs a value")))
+                        .as_str(),
+                );
+            }
+            flag if flag.starts_with('-') => {
+                fail_usage(format!("{command}: unknown flag `{flag}`"))
+            }
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    (positional, out)
 }
 
 fn ingest(args: &[String]) {
@@ -60,15 +124,15 @@ fn ingest(args: &[String]) {
                 options.spill_frames = args
                     .get(i)
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| fail("--frames needs a positive integer"));
+                    .unwrap_or_else(|| fail_usage("ingest: --frames needs a positive integer"));
             }
-            flag if flag.starts_with('-') => fail(format!("unknown flag `{flag}`")),
+            flag if flag.starts_with('-') => fail_usage(format!("ingest: unknown flag `{flag}`")),
             _ => positional.push(&args[i]),
         }
         i += 1;
     }
     let [xml_file, store_dir] = positional[..] else {
-        usage();
+        fail_usage("ingest: expected <xml-file> <store-dir>");
     };
     let dir = PathBuf::from(store_dir);
 
@@ -105,8 +169,18 @@ fn ingest(args: &[String]) {
     );
 }
 
+/// Loads the whole store strictly — the integrity gate shared by `query`
+/// and `reconstruct`. Any missing file, undecodable vector, or
+/// catalog/file disagreement is an operational failure.
+fn open_store(dir: &Path) -> (VecDoc, Catalog) {
+    Store::open(dir).unwrap_or_else(|e| fail(format!("{}: {e}", dir.display())))
+}
+
 fn stats(args: &[String]) {
-    let [dir] = args else { usage() };
+    let (positional, _) = positionals_and_out(args, "stats");
+    let [dir] = positional[..] else {
+        fail_usage("stats: expected <store-dir>");
+    };
     let dir = Path::new(dir);
     let catalog_text = std::fs::read_to_string(dir.join("catalog.json"))
         .unwrap_or_else(|e| fail(format!("{}: {e}", dir.join("catalog.json").display())));
@@ -116,8 +190,36 @@ fn stats(args: &[String]) {
     let (skeleton, root) = xmlvec::skeleton::read(&skeleton_bytes).unwrap_or_else(|e| fail(e));
     let sizes = StoreSizes::measure(dir).unwrap_or_else(|e| fail(e));
 
-    println!("store        {}", dir.display());
-    println!(
+    // Integrity gate: every vector file must decode and agree with its
+    // catalog row before anything is printed — a damaged store yields
+    // exit 1 and no partial output. One vector is resident at a time.
+    for entry in &catalog.vectors {
+        let vector = xmlvec::vector::Vector::open(&dir.join(&entry.file))
+            .unwrap_or_else(|e| fail(format!("vector `{}` ({}): {e}", entry.path, entry.file)));
+        if vector.len() != entry.count {
+            fail(format!(
+                "vector `{}` ({}): catalog says {} records, file has {}",
+                entry.path,
+                entry.file,
+                entry.count,
+                vector.len()
+            ));
+        }
+        if vector.stats().data_bytes != entry.data_bytes {
+            fail(format!(
+                "vector `{}` ({}): catalog says {} data bytes, file has {}",
+                entry.path,
+                entry.file,
+                entry.data_bytes,
+                vector.stats().data_bytes
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "store        {}", dir.display());
+    let _ = writeln!(
+        out,
         "nodes        {} expanded, {} DAG nodes ({:.1}x compression), {} names",
         catalog.node_count,
         skeleton.len(),
@@ -125,19 +227,96 @@ fn stats(args: &[String]) {
         skeleton.names().len()
     );
     debug_assert_eq!(skeleton.expanded_size(root), catalog.node_count);
-    println!(
+    let _ = writeln!(
+        out,
         "bytes        {} skeleton, {} vectors, {} catalog, {} total",
         sizes.skeleton_bytes,
         sizes.vector_bytes,
         sizes.catalog_bytes,
         sizes.total()
     );
-    println!("text bytes   {}", catalog.text_bytes);
-    println!("vectors      {}", catalog.vectors.len());
+    let _ = writeln!(out, "text bytes   {}", catalog.text_bytes);
+    let _ = writeln!(out, "vectors      {}", catalog.vectors.len());
     for entry in &catalog.vectors {
-        println!(
+        let _ = writeln!(
+            out,
             "  {:<12} {:>8} values {:>10} data bytes  {}",
             entry.file, entry.count, entry.data_bytes, entry.path
         );
+    }
+    print!("{out}");
+}
+
+fn query(args: &[String]) {
+    let (positional, out_mode) = positionals_and_out(args, "query");
+    let [dir, xq] = positional[..] else {
+        fail_usage("query: expected <store-dir> <xquery>");
+    };
+    let mode = match out_mode {
+        None | Some("values") => "values",
+        Some("xml") => "xml",
+        Some(other) => fail_usage(format!(
+            "query: --out must be `values` or `xml`, got `{other}`"
+        )),
+    };
+    let (doc, _catalog) = open_store(Path::new(dir));
+    let compiled = Query::new(xq).unwrap_or_else(|e| fail(format!("query: {e}")));
+    // Every doc("…") name in the query resolves to this one store.
+    let corpus: Vec<(&str, &VecDoc)> = compiled
+        .graph()
+        .doc_names()
+        .into_iter()
+        .map(|name| (name, &doc))
+        .collect();
+    let output = compiled
+        .run_corpus(&corpus)
+        .unwrap_or_else(|e| fail(format!("query: {e}")));
+    match mode {
+        "xml" => {
+            let xml = output
+                .to_xml()
+                .unwrap_or_else(|e| fail(format!("query: {e}")));
+            println!("{xml}");
+        }
+        _ => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            match &output {
+                QueryOutput::Values(values) => {
+                    // Values are raw bytes; write them unmangled.
+                    for value in values {
+                        lock.write_all(value)
+                            .and_then(|()| lock.write_all(b"\n"))
+                            .unwrap_or_else(|e| fail(e));
+                    }
+                }
+                QueryOutput::Document(_) => {
+                    for value in output.strings() {
+                        writeln!(&mut lock as &mut dyn std::io::Write, "{value}")
+                            .unwrap_or_else(|e| fail(e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn reconstruct(args: &[String]) {
+    let (positional, out_file) = positionals_and_out(args, "reconstruct");
+    let [dir] = positional[..] else {
+        fail_usage("reconstruct: expected <store-dir>");
+    };
+    let (doc, _catalog) = open_store(Path::new(dir));
+    let document = xmlvec::core::reconstruct(&doc).unwrap_or_else(|e| fail(e));
+    let xml = xmlvec::xml::write_document(&document, &xmlvec::xml::WriteOptions::compact());
+    match out_file {
+        Some(path) => {
+            std::fs::write(path, &xml).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            lock.write_all(xml.as_bytes()).unwrap_or_else(|e| fail(e));
+        }
     }
 }

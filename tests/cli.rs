@@ -1,0 +1,330 @@
+//! End-to-end tests for the compiled `vx` binary.
+//!
+//! Every test drives the real executable (`CARGO_BIN_EXE_vx`) over temp
+//! stores built from the four corpus generators, and pins the CLI's
+//! contract: reconstruction is byte-identical to the writer's
+//! serialization of the ingested XML, `query` agrees with the in-process
+//! engine, and the exit codes are part of the interface — `0` success,
+//! `1` operational failure, `2` usage error.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use xmlvec::xml::{write_document, Document, WriteOptions};
+use xmlvec::{Query, QueryOutput};
+
+fn vx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vx"))
+}
+
+fn run(args: &[&str]) -> Output {
+    vx().args(args).output().expect("spawning vx")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn assert_code(output: &Output, code: i32, context: &str) {
+    assert_eq!(
+        output.status.code(),
+        Some(code),
+        "{context}: expected exit {code}\nstdout: {}\nstderr: {}",
+        stdout(output),
+        stderr(output)
+    );
+}
+
+/// A scratch directory removed on drop, unique per test.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("vx-cli-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Serializes `doc` compactly, writes it to `dir/<name>.xml`, ingests it
+/// into `dir/<name>-store`, and returns (xml text, store dir).
+fn ingest(scratch: &Scratch, name: &str, doc: &Document, extra: &[&str]) -> (String, PathBuf) {
+    let xml = write_document(doc, &WriteOptions::compact());
+    let xml_file = scratch.path(&format!("{name}.xml"));
+    std::fs::write(&xml_file, &xml).unwrap();
+    let store = scratch.path(&format!("{name}-store"));
+    let mut args = vec![
+        "ingest",
+        xml_file.to_str().unwrap(),
+        store.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let out = run(&args);
+    assert_code(&out, 0, &format!("ingest {name}"));
+    (xml, store)
+}
+
+fn the_four_corpora() -> Vec<(&'static str, Document)> {
+    vec![
+        ("xmark", xmlvec::data::xmark(21, 40)),
+        ("treebank", xmlvec::data::treebank(21, 60)),
+        ("medline", xmlvec::data::medline(21, 40)),
+        ("skyserver", xmlvec::data::skyserver(21, 60)),
+    ]
+}
+
+/// ingest → stats → reconstruct on all four corpora: stats must succeed
+/// and report the store, and `reconstruct` must reproduce the ingested
+/// XML byte for byte, both to stdout and through `--out`.
+#[test]
+fn reconstruct_round_trips_all_four_corpora() {
+    let scratch = Scratch::new("roundtrip");
+    for (name, doc) in the_four_corpora() {
+        let (xml, store) = ingest(&scratch, name, &doc, &[]);
+        let store_arg = store.to_str().unwrap();
+
+        let stats = run(&["stats", store_arg]);
+        assert_code(&stats, 0, &format!("stats {name}"));
+        assert!(
+            stdout(&stats).contains("vectors"),
+            "{name}: stats output missing summary"
+        );
+
+        let direct = run(&["reconstruct", store_arg]);
+        assert_code(&direct, 0, &format!("reconstruct {name}"));
+        assert_eq!(
+            direct.stdout,
+            xml.as_bytes(),
+            "{name}: stdout reconstruction must be byte-identical"
+        );
+
+        let out_file = scratch.path(&format!("{name}-back.xml"));
+        let to_file = run(&[
+            "reconstruct",
+            store_arg,
+            "--out",
+            out_file.to_str().unwrap(),
+        ]);
+        assert_code(&to_file, 0, &format!("reconstruct --out {name}"));
+        assert_eq!(
+            std::fs::read(&out_file).unwrap(),
+            xml.as_bytes(),
+            "{name}: --out reconstruction must be byte-identical"
+        );
+    }
+}
+
+/// The two ingest paths (streaming and `--dom`) yield stores that
+/// reconstruct to the same bytes, with dictionary compaction on either.
+#[test]
+fn ingest_flags_preserve_reconstruction() {
+    let scratch = Scratch::new("flags");
+    let doc = xmlvec::data::skyserver(5, 80);
+    let (xml, stream_store) = ingest(&scratch, "stream", &doc, &["--auto"]);
+    let (_, dom_store) = ingest(&scratch, "dom", &doc, &["--dom", "--auto"]);
+    for (label, store) in [("stream", &stream_store), ("dom", &dom_store)] {
+        let out = run(&["reconstruct", store.to_str().unwrap()]);
+        assert_code(&out, 0, label);
+        assert_eq!(out.stdout, xml.as_bytes(), "{label} path round trip");
+    }
+}
+
+/// `vx query --out values` emits exactly what `Query::run_corpus`
+/// produces in-process, one value per line; `--out xml` matches
+/// `QueryOutput::to_xml` for both value and document outputs.
+#[test]
+fn query_matches_in_process_engine() {
+    let scratch = Scratch::new("query");
+    let doc = xmlvec::data::xmark(9, 36);
+    let (_, store) = ingest(&scratch, "xk", &doc, &[]);
+    let store_arg = store.to_str().unwrap();
+    let vec_doc = xmlvec::core::vectorize(&doc).unwrap();
+
+    let queries = [
+        r#"for $i in doc("xk")/site/regions/*/item where $i/location = "United States" return $i/name"#,
+        r#"for $p in doc("xk")/site/people/person, $o in doc("xk")/site/open_auctions/open_auction
+           where $o/seller/@person = $p/@id return $p/name"#,
+        r#"for $a in doc("xk")/site/closed_auctions/closed_auction return <sold>{$a/price}{$a/date}</sold>"#,
+    ];
+    for xq in queries {
+        let expected = Query::new(xq).unwrap().run(&vec_doc).unwrap();
+
+        let values = run(&["query", store_arg, xq]);
+        assert_code(&values, 0, xq);
+        let expected_lines: String = expected
+            .strings()
+            .iter()
+            .map(|s| format!("{s}\n"))
+            .collect();
+        assert_eq!(stdout(&values), expected_lines, "values mismatch for {xq}");
+
+        let xml = run(&["query", store_arg, xq, "--out", "xml"]);
+        assert_code(&xml, 0, xq);
+        assert_eq!(
+            stdout(&xml),
+            format!("{}\n", expected.to_xml().unwrap()),
+            "xml mismatch for {xq}"
+        );
+    }
+
+    // A query with no matches succeeds with empty output.
+    let empty = run(&[
+        "query",
+        store_arg,
+        r#"for $x in doc("xk")//NoSuchTag return $x/y"#,
+    ]);
+    assert_code(&empty, 0, "empty result");
+    assert_eq!(stdout(&empty), "");
+
+    // Document outputs also flatten to one text value per line by default.
+    let constructed = Query::new(queries[2]).unwrap().run(&vec_doc).unwrap();
+    assert!(matches!(constructed, QueryOutput::Document(_)));
+    let flat = run(&["query", store_arg, queries[2]]);
+    assert_eq!(
+        stdout(&flat),
+        constructed
+            .strings()
+            .iter()
+            .map(|s| format!("{s}\n"))
+            .collect::<String>()
+    );
+}
+
+/// Missing stores are operational failures: exit 1, a `vx:` message on
+/// stderr, nothing on stdout — for all three store-reading commands.
+#[test]
+fn missing_store_fails_with_exit_1() {
+    let scratch = Scratch::new("missing");
+    let nowhere = scratch.path("does-not-exist");
+    let nowhere = nowhere.to_str().unwrap();
+    for args in [
+        vec!["stats", nowhere],
+        vec!["query", nowhere, r#"for $x in doc("d")/a return $x/b"#],
+        vec!["reconstruct", nowhere],
+    ] {
+        let out = run(&args);
+        assert_code(&out, 1, &format!("{args:?}"));
+        assert!(
+            stderr(&out).starts_with("vx: "),
+            "{args:?}: structured message expected, got {:?}",
+            stderr(&out)
+        );
+        assert_eq!(stdout(&out), "", "{args:?}: no output on failure");
+    }
+}
+
+/// The integrity gate: a store whose `.vec` file is truncated is refused
+/// by `stats` (and the strict loaders behind `query`/`reconstruct`) with
+/// exit 1 and no partial stdout.
+#[test]
+fn damaged_store_is_refused_whole() {
+    let scratch = Scratch::new("damaged");
+    let doc = xmlvec::data::medline(3, 30);
+    let (_, store) = ingest(&scratch, "ml", &doc, &[]);
+    let store_arg = store.to_str().unwrap();
+
+    // Truncate the first vector file to half its length.
+    let victim = store.join("v000000.vec");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    for args in [
+        vec!["stats", store_arg],
+        vec![
+            "query",
+            store_arg,
+            r#"for $c in doc("ml")//MedlineCitation return $c/PMID"#,
+        ],
+        vec!["reconstruct", store_arg],
+    ] {
+        let out = run(&args);
+        assert_code(&out, 1, &format!("{args:?}"));
+        assert_eq!(stdout(&out), "", "{args:?}: no partial output");
+        assert!(stderr(&out).starts_with("vx: "), "{args:?}");
+    }
+
+    // A corrupted catalog is refused the same way.
+    let catalog = store.join("catalog.json");
+    let text = std::fs::read_to_string(&catalog).unwrap();
+    std::fs::write(&catalog, text.replace("vectors", "victors")).unwrap();
+    let out = run(&["stats", store_arg]);
+    assert_code(&out, 1, "stats with damaged catalog");
+    assert_eq!(stdout(&out), "");
+}
+
+/// Malformed command lines are usage errors: exit 2 with the usage text
+/// on stderr — distinct from operational failures.
+#[test]
+fn bad_arguments_exit_2_with_usage() {
+    let cases: Vec<Vec<&str>> = vec![
+        vec![],                                  // no command
+        vec!["frobnicate"],                      // unknown command
+        vec!["ingest", "only-one-arg"],          // missing operand
+        vec!["stats"],                           // missing operand
+        vec!["stats", "a", "--wat"],             // unknown flag
+        vec!["query", "store-only"],             // missing query
+        vec!["query", "s", "q", "--out", "csv"], // bad --out mode
+        vec!["reconstruct"],                     // missing operand
+        vec!["reconstruct", "s", "--out"],       // --out without value
+    ];
+    for args in cases {
+        let out = run(&args);
+        assert_code(&out, 2, &format!("{args:?}"));
+        assert!(
+            stderr(&out).contains("usage:"),
+            "{args:?}: usage text expected on stderr"
+        );
+    }
+}
+
+/// Query-side failures on a healthy store are operational (exit 1) and
+/// carry the engine's structured message through to stderr.
+#[test]
+fn query_errors_are_structured() {
+    let scratch = Scratch::new("queryerr");
+    let doc = xmlvec::data::skyserver(1, 10);
+    let (_, store) = ingest(&scratch, "ss", &doc, &[]);
+    let store_arg = store.to_str().unwrap();
+
+    // Outside the fragment: the structured Unsupported error surfaces.
+    let unsupported = run(&[
+        "query",
+        store_arg,
+        r#"for $x in doc("ss")//PhotoObj return $x"#,
+    ]);
+    assert_code(&unsupported, 1, "unsupported construct");
+    assert!(
+        stderr(&unsupported).contains("unsupported query construct"),
+        "got {:?}",
+        stderr(&unsupported)
+    );
+
+    // Unparseable query text.
+    let parse_error = run(&["query", store_arg, "for $x in"]);
+    assert_code(&parse_error, 1, "parse error");
+    assert!(stderr(&parse_error).starts_with("vx: query:"));
+}
+
+/// `ingest` on a nonexistent input file is an operational failure.
+#[test]
+fn ingest_missing_input_fails() {
+    let scratch = Scratch::new("noinput");
+    let store = scratch.path("store");
+    let out = run(&["ingest", "/no/such/input.xml", store.to_str().unwrap()]);
+    assert_code(&out, 1, "ingest missing input");
+    assert!(stderr(&out).starts_with("vx: "));
+}
