@@ -99,12 +99,14 @@ fn main() {
         println!(
             "{corpus:>9} {records:>6} records  {:>8.3} MB  \
              dom {:>8.1} rec/s {:>7.2} MB/s  stream {:>8.1} rec/s {:>7.2} MB/s  \
-             ({} spill pages)",
+             (pipeline {:.3}s + write {:.3}s, {} spill pages)",
             mb,
             *records as f64 / timing.dom_secs,
             mb / timing.dom_secs,
             *records as f64 / timing.stream_secs,
             mb / timing.stream_secs,
+            timing.pipeline_secs,
+            timing.write_secs,
             timing.spill_pages,
         );
         runs.push(Json::Object(vec![
@@ -125,6 +127,35 @@ fn main() {
             (
                 "stream_mb_per_sec".into(),
                 Json::Num(mb / timing.stream_secs),
+            ),
+            // Streaming-path phase split (best repetition) and the
+            // deterministic pipeline / spill-pool tallies.
+            (
+                "stream_phases".into(),
+                Json::Object(vec![
+                    ("pipeline_secs".into(), Json::Num(timing.pipeline_secs)),
+                    ("write_secs".into(), Json::Num(timing.write_secs)),
+                ]),
+            ),
+            (
+                "pipeline".into(),
+                Json::Object(vec![
+                    ("events".into(), Json::Num(timing.events as f64)),
+                    ("elements".into(), Json::Num(timing.elements as f64)),
+                    ("values".into(), Json::Num(timing.values as f64)),
+                ]),
+            ),
+            (
+                "spill_pool".into(),
+                Json::Object(vec![
+                    ("spill_pages".into(), Json::Num(timing.spill_pages as f64)),
+                    ("pager_hits".into(), Json::Num(timing.pager_hits as f64)),
+                    ("pager_misses".into(), Json::Num(timing.pager_misses as f64)),
+                    (
+                        "pager_evictions".into(),
+                        Json::Num(timing.pager_evictions as f64),
+                    ),
+                ]),
             ),
             ("spill_pages".into(), Json::Num(timing.spill_pages as f64)),
         ]));

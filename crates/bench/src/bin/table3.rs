@@ -17,7 +17,9 @@
 
 use std::path::PathBuf;
 use std::process::exit;
-use vx_bench::{build_corpus_store, time_query, BenchScales, DATASETS};
+use vx_bench::{
+    build_corpus_store, profile_json, profile_query, time_query, BenchScales, DATASETS,
+};
 use vx_core::json::{to_string_pretty, Json};
 
 struct Config {
@@ -113,6 +115,21 @@ fn main() {
             eprintln!("table3: {}: {e}", spec.name);
             exit(1);
         });
+        // One extra instrumented repetition for the per-operation
+        // breakdown; the timed repetitions above stay unprofiled so
+        // best/mean numbers carry no instrumentation overhead.
+        let (profile_card, profile) =
+            profile_query(&dir, spec.dataset, spec.xq).unwrap_or_else(|e| {
+                eprintln!("table3: {} (profile): {e}", spec.name);
+                exit(1);
+            });
+        if profile_card != timing.cardinality {
+            eprintln!(
+                "table3: {}: profiled run returned {profile_card} results, timed runs {}",
+                spec.name, timing.cardinality
+            );
+            exit(1);
+        }
         println!(
             "{:>3} ({:>2})  best {:>9}  mean {:>9}  open {:>9}  {:>9} results",
             spec.name,
@@ -129,6 +146,7 @@ fn main() {
             ("open_secs".into(), Json::Num(timing.open_secs)),
             ("best_secs".into(), Json::Num(timing.best_secs)),
             ("mean_secs".into(), Json::Num(timing.mean_secs)),
+            ("profile".into(), profile_json(&profile)),
         ]));
     }
     let _ = std::fs::remove_dir_all(&scratch);

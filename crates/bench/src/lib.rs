@@ -9,8 +9,9 @@
 
 use std::path::Path;
 use std::time::Instant;
+use vx_core::json::Json;
 use vx_core::{CoreError, IngestOptions, Store, VecDoc};
-use vx_engine::{Query, QueryOutput};
+use vx_engine::{Query, QueryOutput, QueryProfile};
 
 /// Size breakdown of one persisted store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,7 +64,8 @@ pub fn build_and_measure(
     StoreSizes::measure(dir).map_err(CoreError::Io)
 }
 
-/// Wall-clock comparison of the two ingest paths over one XML text.
+/// Wall-clock comparison of the two ingest paths over one XML text,
+/// with the streaming path's phase split and pipeline/pager tallies.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IngestTiming {
     /// Bytes of the XML input text.
@@ -74,6 +76,22 @@ pub struct IngestTiming {
     pub stream_secs: f64,
     /// Spill pages the streaming path allocated (0 = fit in tail pages).
     pub spill_pages: u64,
+    /// Parse/cons/spill seconds of the best streaming repetition.
+    pub pipeline_secs: f64,
+    /// Skeleton/vector/catalog write seconds of the best streaming rep.
+    pub write_secs: f64,
+    /// Reader events the streaming pipeline consumed (deterministic).
+    pub events: u64,
+    /// Elements the streaming pipeline opened (deterministic).
+    pub elements: u64,
+    /// Text + attribute values appended (deterministic).
+    pub values: u64,
+    /// Spill-pool frame-cache hits during the streaming path.
+    pub pager_hits: u64,
+    /// Spill-pool frame-cache misses (page loads / re-reads).
+    pub pager_misses: u64,
+    /// Spill-pool frame evictions.
+    pub pager_evictions: u64,
 }
 
 /// Times both ingest paths over `xml`, best of `iters` runs each, building
@@ -86,29 +104,50 @@ pub fn time_ingest(dir: &Path, xml: &str, iters: u32) -> Result<IngestTiming, Co
     let stream_dir = dir.join("stream");
     let options = IngestOptions::default();
 
-    let mut dom_secs = f64::INFINITY;
-    let mut stream_secs = f64::INFINITY;
-    let mut spill_pages = 0;
+    let mut timing = IngestTiming {
+        input_bytes: xml.len() as u64,
+        dom_secs: f64::INFINITY,
+        stream_secs: f64::INFINITY,
+        spill_pages: 0,
+        pipeline_secs: 0.0,
+        write_secs: 0.0,
+        events: 0,
+        elements: 0,
+        values: 0,
+        pager_hits: 0,
+        pager_misses: 0,
+        pager_evictions: 0,
+    };
     for _ in 0..iters {
         let _ = std::fs::remove_dir_all(&dom_dir);
         let start = Instant::now();
         let doc = vx_xml::parse(xml)?;
         let vec_doc = vx_core::vectorize(&doc)?;
         Store::save(&dom_dir, &vec_doc, vx_core::Compaction::None)?;
-        dom_secs = dom_secs.min(start.elapsed().as_secs_f64());
+        timing.dom_secs = timing.dom_secs.min(start.elapsed().as_secs_f64());
 
         let _ = std::fs::remove_dir_all(&stream_dir);
         let start = Instant::now();
         let report = Store::ingest_stream(&stream_dir, xml.as_bytes(), &options)?;
-        stream_secs = stream_secs.min(start.elapsed().as_secs_f64());
-        spill_pages = report.spill_pages;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < timing.stream_secs {
+            // Keep the phase split of the best repetition so the parts
+            // belong to the same run as the reported total.
+            timing.stream_secs = elapsed;
+            timing.pipeline_secs = report.pipeline_secs;
+            timing.write_secs = report.write_secs;
+        }
+        // Counters and page traffic are deterministic per input, so
+        // taking them from the last repetition loses nothing.
+        timing.spill_pages = report.spill_pages;
+        timing.events = report.stats.events;
+        timing.elements = report.stats.elements;
+        timing.values = report.stats.values();
+        timing.pager_hits = report.pager.hits;
+        timing.pager_misses = report.pager.misses;
+        timing.pager_evictions = report.pager.evictions;
     }
-    Ok(IngestTiming {
-        input_bytes: xml.len() as u64,
-        dom_secs,
-        stream_secs,
-        spill_pages,
-    })
+    Ok(timing)
 }
 
 /// The four bench datasets in paper order, keyed by the `doc("…")` names
@@ -274,6 +313,64 @@ pub fn time_query(
     })
 }
 
+/// Runs `xq` once against the store in `dir` with engine instrumentation
+/// on, returning the output cardinality and the [`QueryProfile`]. Used
+/// for the per-query operation breakdowns embedded in `BENCH_*.json`;
+/// timed repetitions stay unprofiled.
+pub fn profile_query(
+    dir: &Path,
+    dataset: &str,
+    xq: &str,
+) -> Result<(u64, QueryProfile), vx_engine::EngineError> {
+    let compiled = Query::new(xq)?;
+    let (doc, _catalog) = Store::open(dir)?;
+    let corpus: Vec<(&str, &VecDoc)> = vec![(dataset, &doc)];
+    let (output, profile) = compiled.run_corpus_profiled(&corpus)?;
+    let cardinality = match &output {
+        QueryOutput::Values(values) => values.len() as u64,
+        QueryOutput::Document(_) => output.strings().len() as u64,
+    };
+    Ok((cardinality, profile))
+}
+
+/// Serializes a [`QueryProfile`] to the JSON shape shared by `vx query
+/// --profile-json` and the breakdowns in the committed `BENCH_*.json`
+/// files: `{"total_secs", "steps": [{"step","secs"}…], "counters":
+/// {…}, "variables": [{"var","occurrences"}…]}`.
+pub fn profile_json(profile: &QueryProfile) -> Json {
+    let steps = profile
+        .steps
+        .iter()
+        .map(|s| {
+            Json::Object(vec![
+                ("step".into(), Json::Str(s.name.clone())),
+                ("secs".into(), Json::Num(s.secs)),
+            ])
+        })
+        .collect();
+    let counters = profile
+        .counters
+        .iter()
+        .map(|(name, value)| (name.to_string(), Json::Num(value as f64)))
+        .collect();
+    let variables = profile
+        .variables
+        .iter()
+        .map(|v| {
+            Json::Object(vec![
+                ("var".into(), Json::Str(v.name.clone())),
+                ("occurrences".into(), Json::Num(v.occurrences as f64)),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        ("total_secs".into(), Json::Num(profile.total_secs)),
+        ("steps".into(), Json::Array(steps)),
+        ("counters".into(), Json::Object(counters)),
+        ("variables".into(), Json::Array(variables)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +398,11 @@ mod tests {
         assert_eq!(timing.input_bytes, xml.len() as u64);
         assert!(timing.dom_secs > 0.0 && timing.dom_secs.is_finite());
         assert!(timing.stream_secs > 0.0 && timing.stream_secs.is_finite());
+        // The streaming phase split covers the whole measured interval.
+        assert!(timing.pipeline_secs > 0.0 && timing.write_secs > 0.0);
+        assert!(timing.pipeline_secs + timing.write_secs <= timing.stream_secs + 1e-9);
+        assert!(timing.events > timing.elements && timing.elements >= 50);
+        assert!(timing.values > 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

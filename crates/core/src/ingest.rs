@@ -56,6 +56,12 @@ pub struct IngestReport {
     pub spill_pages: u64,
     /// Spill-pool buffer statistics (misses ≈ page re-reads at finish).
     pub pager: PagerStats,
+    /// Event-pipeline tallies (elements, values, events consumed).
+    pub stats: vx_ingest::PipelineStats,
+    /// Seconds in the parse/cons/spill phase (reader → `IngestOutput`).
+    pub pipeline_secs: f64,
+    /// Seconds in the write phase (skeleton + vectors + catalog to disk).
+    pub write_secs: f64,
 }
 
 impl From<vx_ingest::IngestError> for CoreError {
@@ -94,17 +100,26 @@ impl Store {
         let pipeline_options = PipelineOptions {
             drop_unrepresentable: options.drop_unrepresentable,
         };
+        let timer = vx_obs::Timer::start();
         let output = vx_ingest::run(events, pool, pipeline_options)?;
-        write_output(dir, output, options)
+        let pipeline_secs = timer.secs();
+        write_output(dir, output, options, pipeline_secs)
     }
 }
 
-fn write_output(dir: &Path, output: IngestOutput, options: &IngestOptions) -> Result<IngestReport> {
+fn write_output(
+    dir: &Path,
+    output: IngestOutput,
+    options: &IngestOptions,
+    pipeline_secs: f64,
+) -> Result<IngestReport> {
+    let timer = vx_obs::Timer::start();
     let IngestOutput {
         skeleton,
         root,
         vectors,
         mut pool,
+        stats,
     } = output;
     fs::write(dir.join("skeleton.vxsk"), skformat::write(&skeleton, root))?;
 
@@ -140,7 +155,38 @@ fn write_output(dir: &Path, output: IngestOutput, options: &IngestOptions) -> Re
         catalog,
         spill_pages: pool.page_count(),
         pager: pool.stats(),
+        stats,
+        pipeline_secs,
+        write_secs: timer.secs(),
     };
     drop(pool); // removes the spill file
+    if vx_obs::log_enabled() {
+        vx_obs::event(
+            "core.ingest",
+            &[
+                ("dir", vx_obs::Value::Str(&dir.display().to_string())),
+                ("pipeline_secs", vx_obs::Value::F64(report.pipeline_secs)),
+                ("write_secs", vx_obs::Value::F64(report.write_secs)),
+                ("events", vx_obs::Value::U64(report.stats.events)),
+                ("elements", vx_obs::Value::U64(report.stats.elements)),
+                ("values", vx_obs::Value::U64(report.stats.values())),
+                (
+                    "vectors",
+                    vx_obs::Value::U64(report.catalog.vectors.len() as u64),
+                ),
+                ("spill_pages", vx_obs::Value::U64(report.spill_pages)),
+                ("pager_hits", vx_obs::Value::U64(report.pager.hits)),
+                ("pager_misses", vx_obs::Value::U64(report.pager.misses)),
+                (
+                    "pager_evictions",
+                    vx_obs::Value::U64(report.pager.evictions),
+                ),
+                (
+                    "pager_writebacks",
+                    vx_obs::Value::U64(report.pager.writebacks),
+                ),
+            ],
+        );
+    }
     Ok(report)
 }

@@ -33,6 +33,7 @@
 
 mod graph;
 mod oracle;
+mod profile;
 mod reduce;
 
 pub use graph::{
@@ -40,7 +41,8 @@ pub use graph::{
     Template, TplItem, ValueRef, VarNode,
 };
 pub use oracle::{naive_eval, NaiveOutput};
-pub use reduce::reduce;
+pub use profile::{QueryProfile, VarCardinality};
+pub use reduce::{reduce, reduce_profiled};
 
 use std::fmt;
 use vx_core::{reconstruct, CoreError, VecDoc};
@@ -168,14 +170,36 @@ impl Query {
             .into_iter()
             .map(|name| (name, doc))
             .collect();
-        reduce(&self.graph, &docs)
+        reduce::reduce_hinted(&self.graph, &docs, &self.source)
     }
 
     /// Runs against a named corpus; each `doc("name")` resolves through
     /// the slice. Unknown names fail with
     /// [`EngineError::UnknownDocument`].
     pub fn run_corpus(&self, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
-        reduce(&self.graph, docs)
+        reduce::reduce_hinted(&self.graph, docs, &self.source)
+    }
+
+    /// Like [`Query::run`], but instrumented: also returns the
+    /// [`QueryProfile`] of per-step spans, operation counters, and
+    /// extended-vector cardinalities.
+    pub fn run_profiled(&self, doc: &VecDoc) -> Result<(QueryOutput, QueryProfile)> {
+        let docs: Vec<(&str, &VecDoc)> = self
+            .graph
+            .doc_names()
+            .into_iter()
+            .map(|name| (name, doc))
+            .collect();
+        reduce_profiled(&self.graph, &docs, &self.source)
+    }
+
+    /// Like [`Query::run_corpus`], but instrumented (see
+    /// [`Query::run_profiled`]).
+    pub fn run_corpus_profiled(
+        &self,
+        docs: &[(&str, &VecDoc)],
+    ) -> Result<(QueryOutput, QueryProfile)> {
+        reduce_profiled(&self.graph, docs, &self.source)
     }
 }
 

@@ -28,15 +28,65 @@
 use crate::graph::{
     Block, FilterTest, Output, PatStep, PatTest, QueryGraph, RefKind, Template, TplItem,
 };
+use crate::profile::{QueryProfile, VarCardinality};
 use crate::{EngineError, QueryOutput, Result};
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 use vx_core::{VecDoc, VecDocBuilder};
+use vx_obs::{Counters, Spans};
 use vx_skeleton::{NodeId, PathIndex, PathPattern, PatternStep, PatternTest, Skeleton};
 
 /// Evaluates `graph` against the named documents. Every `doc("…")` name
 /// the graph mentions must appear in `docs` (first entry wins on
 /// duplicates).
 pub fn reduce(graph: &QueryGraph, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
+    Ok(reduce_inner(graph, docs, false, "")?.0)
+}
+
+/// As [`reduce`], labelling any `VX_LOG` events with `hint` (the query
+/// source). [`crate::Query`] routes through this.
+pub(crate) fn reduce_hinted(
+    graph: &QueryGraph,
+    docs: &[(&str, &VecDoc)],
+    hint: &str,
+) -> Result<QueryOutput> {
+    Ok(reduce_inner(graph, docs, false, hint)?.0)
+}
+
+/// Evaluates `graph` with instrumentation on: the returned
+/// [`QueryProfile`] carries per-step spans (which tile the total),
+/// deterministic operation counters, and per-variable extended-vector
+/// cardinalities. `hint` labels the query in `VX_LOG` events.
+pub fn reduce_profiled(
+    graph: &QueryGraph,
+    docs: &[(&str, &VecDoc)],
+    hint: &str,
+) -> Result<(QueryOutput, QueryProfile)> {
+    let (output, profile) = reduce_inner(graph, docs, true, hint)?;
+    Ok((
+        output,
+        profile.expect("reduce_inner profiles when asked to"),
+    ))
+}
+
+/// The shared evaluation body. Timers run only when `want_profile` is
+/// set or the `VX_LOG` sink is active — an unprofiled run with `VX_LOG`
+/// unset takes no timestamps beyond plain counter arithmetic, which is
+/// what keeps the disabled path inside the < 5 % bench budget.
+fn reduce_inner(
+    graph: &QueryGraph,
+    docs: &[(&str, &VecDoc)],
+    want_profile: bool,
+    hint: &str,
+) -> Result<(QueryOutput, Option<QueryProfile>)> {
+    let profiling = want_profile || vx_obs::log_enabled();
+    let total = Instant::now();
+    let mut spans = Spans::new();
+    if profiling {
+        spans.tile(None);
+    }
+
     // Resolve document names.
     let mut doc_of_name: HashMap<&str, usize> = HashMap::new();
     for (i, (name, _)) in docs.iter().enumerate() {
@@ -74,10 +124,14 @@ pub fn reduce(graph: &QueryGraph, docs: &[(&str, &VecDoc)]) -> Result<QueryOutpu
     for (r, vref) in graph.refs.iter().enumerate() {
         refs_of_var[vref.var].push(r);
     }
+    if profiling {
+        spans.tile(Some("plan"));
+    }
 
     // --- Collection: one skeleton pass per referenced document. -------
     let mut state = State::new(graph);
-    for (doc_idx, (_, doc)) in docs.iter().enumerate() {
+    let mut walk_tally = WalkTally::default();
+    for (doc_idx, (name, doc)) in docs.iter().enumerate() {
         if !var_doc.contains(&doc_idx) {
             continue;
         }
@@ -89,7 +143,11 @@ pub fn reduce(graph: &QueryGraph, docs: &[(&str, &VecDoc)]) -> Result<QueryOutpu
             &var_children,
             &refs_of_var,
             &mut state,
+            &mut walk_tally,
         )?;
+        if profiling {
+            spans.tile(Some(&format!("match:{name}")));
+        }
     }
     state.flatten_values();
 
@@ -108,6 +166,14 @@ pub fn reduce(graph: &QueryGraph, docs: &[(&str, &VecDoc)]) -> Result<QueryOutpu
             None => child_occs.push(Vec::new()),
         }
     }
+    if profiling {
+        spans.tile(Some("group"));
+    }
+
+    let join_index = build_join_indexes(graph, docs, &var_doc, &state);
+    if profiling {
+        spans.tile(Some("join-build"));
+    }
 
     let eval = Eval {
         graph,
@@ -115,24 +181,82 @@ pub fn reduce(graph: &QueryGraph, docs: &[(&str, &VecDoc)]) -> Result<QueryOutpu
         var_doc: &var_doc,
         state: &state,
         child_occs: &child_occs,
-        join_index: build_join_indexes(graph, docs, &var_doc, &state),
+        join_index,
+        profiling,
+        tally: EnumTally::default(),
     };
 
     let mut env = vec![usize::MAX; graph.vars.len()];
-    match &graph.block.output {
+    let output = match &graph.block.output {
         Output::Values(_) => {
             let mut out = Vec::new();
             eval.run_block(&graph.block, &mut env, &mut Sink::Values(&mut out))?;
-            Ok(QueryOutput::Values(out))
+            QueryOutput::Values(out)
         }
         Output::Document(_) => {
             let mut builder = VecDocBuilder::new();
             builder.begin_element("results");
             eval.run_block(&graph.block, &mut env, &mut Sink::Builder(&mut builder))?;
             builder.end_element();
-            Ok(QueryOutput::Document(builder.finish()?))
+            QueryOutput::Document(builder.finish()?)
         }
+    };
+
+    if !profiling {
+        return Ok((output, None));
     }
+
+    // Per-emit output time was measured inside the enumeration loop;
+    // re-attribute it so `enumerate` + `output` still tile the interval.
+    spans.tile(Some("enumerate"));
+    let total_secs = total.elapsed().as_secs_f64();
+    let output_secs = eval.tally.output_secs.get();
+    spans.deduct("enumerate", output_secs);
+    spans.record("output", output_secs);
+
+    let mut counters = Counters::new();
+    counters.add("skeleton.visits", walk_tally.visits);
+    counters.add("skeleton.bulk_skips", walk_tally.bulk_skips);
+    counters.add("nfa.advances", walk_tally.nfa_advances);
+    counters.add("nfa.accepts", walk_tally.nfa_accepts);
+    counters.add("cursor.values.passed", walk_tally.values_passed);
+    counters.add("cursor.values.skipped", walk_tally.values_skipped);
+    counters.add(
+        "occ.rows",
+        state.occ_parent.iter().map(|v| v.len() as u64).sum(),
+    );
+    counters.add(
+        "join.build.entries",
+        eval.join_index
+            .values()
+            .map(|m| m.values().map(|s| s.len() as u64).sum::<u64>())
+            .sum(),
+    );
+    counters.add("join.probe.hits", eval.tally.probe_hits.get());
+    counters.add("join.probe.misses", eval.tally.probe_misses.get());
+    counters.add("filter.checks", eval.tally.filter_checks.get());
+    counters.add("filter.passes", eval.tally.filter_passes.get());
+    counters.add("tuples.emitted", eval.tally.tuples.get());
+    counters.add("values.emitted", eval.tally.values.get());
+
+    let variables = graph
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(v, var)| VarCardinality {
+            name: var.name.clone(),
+            occurrences: state.occ_parent[v].len() as u64,
+        })
+        .collect();
+
+    let profile = QueryProfile {
+        steps: spans.into_spans(),
+        counters,
+        variables,
+        total_secs,
+    };
+    profile.log(hint);
+    Ok((output, Some(profile)))
 }
 
 // ---------------------------------------------------------------------
@@ -220,6 +344,47 @@ impl State {
     }
 }
 
+/// Counters accumulated by the skeleton pass. Plain integer adds on the
+/// hot path — cheap enough to keep unconditionally live, so counter
+/// values never depend on whether profiling was requested.
+#[derive(Debug, Default)]
+struct WalkTally {
+    /// Skeleton elements entered (`skeleton.visits`).
+    visits: u64,
+    /// Subtrees bulk-skipped without entering (`skeleton.bulk_skips`).
+    bulk_skips: u64,
+    /// NFA machine-advance operations (`nfa.advances`).
+    nfa_advances: u64,
+    /// Pattern accept events (`nfa.accepts`).
+    nfa_accepts: u64,
+    /// Text values passed edge-by-edge (`cursor.values.passed`).
+    values_passed: u64,
+    /// Text values bulk-advanced during skips (`cursor.values.skipped`).
+    values_skipped: u64,
+}
+
+/// Counters accumulated during tuple enumeration. `Cell`s because the
+/// [`Eval`] methods take `&self` (they also hold shared borrows into the
+/// join indexes mid-recursion).
+#[derive(Debug, Default)]
+struct EnumTally {
+    probe_hits: Cell<u64>,
+    probe_misses: Cell<u64>,
+    filter_checks: Cell<u64>,
+    filter_passes: Cell<u64>,
+    tuples: Cell<u64>,
+    values: Cell<u64>,
+    /// Seconds spent emitting output, measured only when
+    /// `Eval::profiling` is set; re-attributed out of `enumerate`.
+    output_secs: Cell<f64>,
+    /// Guards nested template blocks from double-counting output time.
+    in_output: Cell<bool>,
+}
+
+fn bump(cell: &Cell<u64>) {
+    cell.set(cell.get() + 1);
+}
+
 // ---------------------------------------------------------------------
 // Collection: the single skeleton pass per document.
 // ---------------------------------------------------------------------
@@ -263,6 +428,7 @@ fn pattern_of(steps: &[PatStep], skeleton: &Skeleton) -> Result<PathPattern> {
     .ok_or_else(|| EngineError::unsupported("path pattern with more than 63 steps", None))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn collect_doc(
     graph: &QueryGraph,
     doc: &VecDoc,
@@ -271,6 +437,7 @@ fn collect_doc(
     var_children: &[Vec<usize>],
     refs_of_var: &[Vec<usize>],
     state: &mut State,
+    tally: &mut WalkTally,
 ) -> Result<()> {
     let root = doc
         .root
@@ -331,6 +498,7 @@ fn collect_doc(
         var_children,
         refs_of_var,
         state,
+        tally,
         cursors: HashMap::new(),
         path: String::new(),
         root,
@@ -359,6 +527,7 @@ struct Walker<'a> {
     var_children: &'a [Vec<usize>],
     refs_of_var: &'a [Vec<usize>],
     state: &'a mut State,
+    tally: &'a mut WalkTally,
     /// Per-path count of text values already passed, in document order.
     cursors: HashMap<String, usize>,
     /// Absolute tag path of the element being visited.
@@ -464,6 +633,8 @@ impl Walker<'_> {
     }
 
     fn visit(&mut self, node: NodeId, machines: &[Machine]) -> Result<()> {
+        self.tally.visits += 1;
+        self.tally.nfa_advances += machines.len() as u64;
         let (name_id, edges) = {
             let data = self.skeleton.node(node);
             let name_id = data
@@ -502,6 +673,7 @@ impl Walker<'_> {
         let mut collectors: Vec<Collector> = Vec::new();
         for (m, accepted) in advanced {
             if accepted {
+                self.tally.nfa_accepts += 1;
                 self.accept(m.target, m.owner, Some(node), &mut live, &mut collectors);
             }
             live.push(m);
@@ -517,6 +689,7 @@ impl Walker<'_> {
                     })?;
                     let start = *self.cursors.entry(self.path.clone()).or_insert(0);
                     *self.cursors.get_mut(&self.path).expect("just inserted") += edge.run as usize;
+                    self.tally.values_passed += edge.run;
                     for c in &collectors {
                         if let RefData::Values(rows) = &mut self.state.ref_data[c.r] {
                             for k in 0..edge.run as usize {
@@ -546,6 +719,7 @@ impl Walker<'_> {
     /// Advances the per-path cursors across `run` repetitions of the
     /// subtree at `child` using the memoized text layout, in `O(paths)`.
     fn skip(&mut self, child: NodeId, run: u64, child_name: &str) {
+        self.tally.bulk_skips += 1;
         let rels: Vec<(String, u64)> = self
             .index
             .texts_below(child)
@@ -565,6 +739,7 @@ impl Walker<'_> {
             .collect();
         for (abs, count) in rels {
             *self.cursors.entry(abs).or_insert(0) += (count * run) as usize;
+            self.tally.values_skipped += count * run;
         }
     }
 }
@@ -589,6 +764,10 @@ struct Eval<'a> {
     /// Hash-join indexes keyed by build-side reference: value bytes →
     /// occurrences of the build variable carrying that value.
     join_index: HashMap<usize, HashMap<Vec<u8>, HashSet<usize>>>,
+    /// Whether to take output-emission timestamps (counters are always
+    /// live; only `Instant` calls are gated).
+    profiling: bool,
+    tally: EnumTally,
 }
 
 /// Pre-builds the hash index for every join edge's build side (the side
@@ -658,14 +837,19 @@ impl Eval<'_> {
     }
 
     fn filter_passes(&self, test: &FilterTest, occ: usize) -> bool {
-        match test {
+        bump(&self.tally.filter_checks);
+        let pass = match test {
             FilterTest::Exists(r) => self.state.exists(*r, occ),
             FilterTest::Eq(r, lit) => self.ref_bytes(*r, occ).contains(&lit.as_bytes()),
             FilterTest::PathPair(a, b) => {
                 let left: HashSet<&[u8]> = self.ref_bytes(*a, occ).into_iter().collect();
                 self.ref_bytes(*b, occ).iter().any(|v| left.contains(v))
             }
+        };
+        if pass {
+            bump(&self.tally.filter_passes);
         }
+        pass
     }
 
     fn run_block(&self, block: &Block, env: &mut Vec<usize>, sink: &mut Sink<'_>) -> Result<()> {
@@ -697,6 +881,19 @@ impl Eval<'_> {
         sink: &mut Sink<'_>,
     ) -> Result<()> {
         if pos == block.vars.len() {
+            bump(&self.tally.tuples);
+            // Time output emission only for the outermost emit — nested
+            // template blocks re-enter `bind` while the clock is running.
+            if self.profiling && !self.tally.in_output.get() {
+                self.tally.in_output.set(true);
+                let mark = Instant::now();
+                let result = self.emit(&block.output, env, sink);
+                self.tally
+                    .output_secs
+                    .set(self.tally.output_secs.get() + mark.elapsed().as_secs_f64());
+                self.tally.in_output.set(false);
+                return result;
+            }
             return self.emit(&block.output, env, sink);
         }
         let var = block.vars[pos];
@@ -718,7 +915,10 @@ impl Eval<'_> {
             let mut matched: HashSet<usize> = HashSet::new();
             for value in self.ref_bytes(probe, probe_occ) {
                 if let Some(occs) = index.get(value) {
+                    bump(&self.tally.probe_hits);
                     matched.extend(occs);
+                } else {
+                    bump(&self.tally.probe_misses);
                 }
             }
             allowed = Some(match allowed {
@@ -760,6 +960,9 @@ impl Eval<'_> {
                 let var = self.graph.refs[*r].var;
                 let occ = env[var];
                 let doc = self.docs[self.var_doc[var]].1;
+                self.tally
+                    .values
+                    .set(self.tally.values.get() + self.state.values(*r, occ).len() as u64);
                 for &(vec, idx) in self.state.values(*r, occ) {
                     let bytes = doc.vectors()[vec].values[idx].clone();
                     match sink {
@@ -793,7 +996,14 @@ impl Eval<'_> {
                     for task in self.state.copies(*r, env[var]) {
                         let mut cursors = task.cursors.clone();
                         let mut path = task.path.clone();
-                        copy_walk(doc, task.node, &mut path, &mut cursors, builder)?;
+                        copy_walk(
+                            doc,
+                            task.node,
+                            &mut path,
+                            &mut cursors,
+                            builder,
+                            &self.tally.values,
+                        )?;
                     }
                 }
                 TplItem::Element(e) => self.render(e, env, builder)?,
@@ -816,6 +1026,7 @@ fn copy_walk(
     path: &mut String,
     cursors: &mut HashMap<String, usize>,
     builder: &mut VecDocBuilder,
+    values_out: &Cell<u64>,
 ) -> Result<()> {
     let skeleton = &doc.skeleton;
     let data = skeleton.node(node);
@@ -831,6 +1042,7 @@ fn copy_walk(
                     EngineError::Corrupt(format!("no vector for copied path {path:?}"))
                 })?;
                 let cursor = cursors.entry(path.clone()).or_insert(0);
+                values_out.set(values_out.get() + edge.run);
                 for _ in 0..edge.run {
                     let bytes = vector.values.get(*cursor).cloned().ok_or_else(|| {
                         EngineError::Corrupt(format!("vector {path:?} exhausted during copy"))
@@ -844,7 +1056,7 @@ fn copy_walk(
                 path.push('/');
                 path.push_str(skeleton.name(child_name));
                 for _ in 0..edge.run {
-                    copy_walk(doc, edge.child, path, cursors, builder)?;
+                    copy_walk(doc, edge.child, path, cursors, builder, values_out)?;
                 }
                 path.truncate(saved);
             }

@@ -94,6 +94,28 @@ pub struct PipelineOptions {
     pub drop_unrepresentable: bool,
 }
 
+/// Plain tallies accumulated while feeding events — integer adds on the
+/// event path, always on. Values depend only on the input stream, so two
+/// ingests of the same document report identical stats.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Parse events consumed (all kinds, including ignored misc).
+    pub events: u64,
+    /// Elements opened.
+    pub elements: u64,
+    /// Attribute values appended to vectors.
+    pub attr_values: u64,
+    /// Text/CDATA values appended to vectors.
+    pub text_values: u64,
+}
+
+impl PipelineStats {
+    /// Total values appended across all vectors.
+    pub fn values(&self) -> u64 {
+        self.attr_values + self.text_values
+    }
+}
+
 /// Everything the pipeline accumulated, ready for the store layer to
 /// serialize: the consed skeleton, and one spilled vector per path in
 /// first-occurrence document order (the store's `v{NNNNNN}.vec` order).
@@ -102,6 +124,7 @@ pub struct IngestOutput {
     pub root: NodeId,
     pub vectors: Vec<(String, SpillVector)>,
     pub pool: SpillPool,
+    pub stats: PipelineStats,
 }
 
 /// The event-to-`(S, V)` driver. Feed it every event of one document,
@@ -114,6 +137,7 @@ pub struct Pipeline {
     path: String,
     parent_lens: Vec<usize>,
     options: PipelineOptions,
+    stats: PipelineStats,
 }
 
 impl Pipeline {
@@ -127,7 +151,13 @@ impl Pipeline {
             path: String::new(),
             parent_lens: Vec::new(),
             options,
+            stats: PipelineStats::default(),
         }
+    }
+
+    /// Tallies so far (final values after the last [`Pipeline::feed`]).
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
     }
 
     fn push_value(&mut self, path: &str, value: &[u8]) -> Result<()> {
@@ -146,9 +176,11 @@ impl Pipeline {
 
     /// Consumes one parse event.
     pub fn feed(&mut self, event: Event) -> Result<()> {
+        self.stats.events += 1;
         match event {
             Event::Decl(_) => {}
             Event::Start(name) => {
+                self.stats.elements += 1;
                 self.builder.start_element(&name)?;
                 self.parent_lens.push(self.path.len());
                 if !self.path.is_empty() {
@@ -157,11 +189,13 @@ impl Pipeline {
                 self.path.push_str(&name);
             }
             Event::Attr { name, value } => {
+                self.stats.attr_values += 1;
                 self.builder.attribute(&name)?;
                 let attr_path = format!("{}/@{name}", self.path);
                 self.push_value(&attr_path, value.as_bytes())?;
             }
             Event::Text(t) | Event::CData(t) => {
+                self.stats.text_values += 1;
                 self.builder.text()?;
                 let path = std::mem::take(&mut self.path);
                 let result = self.push_value(&path, t.as_bytes());
@@ -199,6 +233,7 @@ impl Pipeline {
             root,
             vectors: self.vectors,
             pool: self.pool,
+            stats: self.stats,
         })
     }
 }

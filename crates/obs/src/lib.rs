@@ -1,0 +1,420 @@
+//! `vx-obs` — the measurement layer: counters, monotonic span timers,
+//! and a structured event sink.
+//!
+//! Every other crate in the workspace sits *above* this one; `vx-obs`
+//! itself depends only on `std`. It provides three primitives:
+//!
+//! * [`Counters`] — a deterministically ordered set of named `u64`
+//!   counters. Counter values depend only on the work performed, never
+//!   on wall time, so two runs of the same query over the same store
+//!   produce identical counters (pinned by `tests/metrics.rs`).
+//! * [`Spans`] — an ordered list of named monotonic spans. The engine
+//!   records spans as *chained boundaries* ([`Spans::tile`]), so the
+//!   per-step seconds of a profile tile its total exactly (up to
+//!   floating-point rounding).
+//! * The **event sink** — [`event`] writes one JSON object per line to
+//!   a destination chosen by the `VX_LOG` environment variable:
+//!
+//!   | `VX_LOG`            | behaviour                                  |
+//!   |---------------------|--------------------------------------------|
+//!   | unset / `""` / `0`  | disabled: no output, no I/O, no allocation |
+//!   | `1` / `stderr`      | JSON lines to standard error               |
+//!   | anything else       | treated as a file path, appended to        |
+//!
+//!   Each line has the shape
+//!   `{"ev":"<name>","us":<microseconds since first event>,<fields…>}`.
+//!   Field values are strings, integers, floats, or booleans
+//!   ([`Value`]). When `VX_LOG` is off the fast path is a single
+//!   initialized-once check — instrumented code pays nothing beyond the
+//!   branch, which is why call sites are coarse (per phase / per
+//!   command, never per tuple).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+/// A set of named monotonic counters with deterministic (sorted-name)
+/// iteration order.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Counters {
+    map: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Adds `n` to counter `name` (creating it at 0).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.map.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in sorted-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+/// One completed span: a name and its duration in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub name: String,
+    pub secs: f64,
+}
+
+/// An ordered list of completed spans.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Spans {
+    spans: Vec<Span>,
+    /// Boundary of the last [`Spans::tile`] call.
+    tile_mark: Option<Instant>,
+}
+
+impl Spans {
+    pub fn new() -> Spans {
+        Spans::default()
+    }
+
+    /// Records a span with an explicit duration.
+    pub fn record(&mut self, name: impl Into<String>, secs: f64) {
+        self.spans.push(Span {
+            name: name.into(),
+            secs,
+        });
+    }
+
+    /// Chained-boundary recording: the first call starts the clock; each
+    /// subsequent call closes a span named `name` covering exactly the
+    /// time since the previous call. Spans recorded this way tile the
+    /// interval from the first `tile(None)` to the last `tile(Some(..))`
+    /// with no gaps and no overlaps.
+    pub fn tile(&mut self, name: Option<&str>) {
+        let now = Instant::now();
+        if let (Some(mark), Some(name)) = (self.tile_mark, name) {
+            self.record(name, now.duration_since(mark).as_secs_f64());
+        }
+        self.tile_mark = Some(now);
+    }
+
+    /// All spans in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Consumes the recorder, yielding the spans in recording order.
+    pub fn into_spans(self) -> Vec<Span> {
+        self.spans
+    }
+
+    /// Sum of all span durations.
+    pub fn total(&self) -> f64 {
+        self.spans.iter().map(|s| s.secs).sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Subtracts `secs` from the most recent span named `name` (used to
+    /// re-attribute time measured inside a larger span, keeping the
+    /// tiling exact). Saturates at zero.
+    pub fn deduct(&mut self, name: &str, secs: f64) {
+        if let Some(span) = self.spans.iter_mut().rev().find(|s| s.name == name) {
+            span.secs = (span.secs - secs).max(0.0);
+        }
+    }
+}
+
+/// A monotonic stopwatch for one-off measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer(Instant);
+
+impl Timer {
+    pub fn start() -> Timer {
+        Timer(Instant::now())
+    }
+
+    /// Seconds since [`Timer::start`].
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structured event sink
+// ---------------------------------------------------------------------
+
+/// A field value in a structured event.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    Str(&'a str),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<u64> for Value<'_> {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value<'_> {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value<'_> {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value<'_> {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value<'_> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+enum SinkTarget {
+    Stderr,
+    File(std::fs::File),
+}
+
+struct Sink {
+    target: Mutex<SinkTarget>,
+    epoch: Instant,
+}
+
+/// `None` = disabled. Initialized once from `VX_LOG` on first use.
+static SINK: OnceLock<Option<Sink>> = OnceLock::new();
+
+fn sink() -> &'static Option<Sink> {
+    SINK.get_or_init(|| {
+        let spec = std::env::var("VX_LOG").unwrap_or_default();
+        match spec.as_str() {
+            "" | "0" => None,
+            "1" | "stderr" => Some(Sink {
+                target: Mutex::new(SinkTarget::Stderr),
+                epoch: Instant::now(),
+            }),
+            path => std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .ok()
+                .map(|file| Sink {
+                    target: Mutex::new(SinkTarget::File(file)),
+                    epoch: Instant::now(),
+                }),
+        }
+    })
+}
+
+/// Whether the `VX_LOG` event sink is active. The first call (anywhere)
+/// latches the environment; later changes to `VX_LOG` have no effect in
+/// this process.
+pub fn log_enabled() -> bool {
+    sink().is_some()
+}
+
+/// Emits one structured event (a JSON line) to the `VX_LOG` sink. A
+/// no-op when the sink is disabled; errors writing to it are ignored
+/// (observability must never fail the operation it observes).
+pub fn event(name: &str, fields: &[(&str, Value<'_>)]) {
+    let Some(sink) = sink() else { return };
+    let us = sink.epoch.elapsed().as_micros() as u64;
+    let line = format_event(name, us, fields);
+    let mut target = match sink.target.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    match &mut *target {
+        SinkTarget::Stderr => {
+            let _ = std::io::stderr().write_all(line.as_bytes());
+        }
+        SinkTarget::File(file) => {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal (quotes, backslashes, and control
+/// characters escaped).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats one event line without the global sink — the pure formatting
+/// core of [`event`], exposed for tests and for callers that manage
+/// their own writer.
+pub fn format_event(name: &str, us: u64, fields: &[(&str, Value<'_>)]) -> String {
+    let mut line = String::with_capacity(64);
+    line.push_str("{\"ev\":");
+    push_json_str(&mut line, name);
+    let _ = write!(line, ",\"us\":{us}");
+    for (key, value) in fields {
+        line.push(',');
+        push_json_str(&mut line, key);
+        line.push(':');
+        match value {
+            Value::Str(s) => push_json_str(&mut line, s),
+            Value::U64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            Value::F64(v) if v.is_finite() => {
+                let _ = write!(line, "{v}");
+            }
+            Value::F64(_) => line.push_str("null"),
+            Value::Bool(v) => {
+                let _ = write!(line, "{v}");
+            }
+        }
+    }
+    line.push_str("}\n");
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_ordered_and_merge() {
+        let mut a = Counters::new();
+        a.add("zeta", 2);
+        a.add("alpha", 1);
+        a.add("zeta", 3);
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "zeta"], "sorted-name iteration");
+        assert_eq!(a.get("zeta"), 5);
+        assert_eq!(a.get("missing"), 0);
+
+        let mut b = Counters::new();
+        b.add("alpha", 10);
+        b.add("beta", 7);
+        a.merge(&b);
+        assert_eq!(a.get("alpha"), 11);
+        assert_eq!(a.get("beta"), 7);
+    }
+
+    #[test]
+    fn spans_tile_without_gaps() {
+        let mut spans = Spans::new();
+        spans.tile(None);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        spans.tile(Some("first"));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        spans.tile(Some("second"));
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.secs > 0.0));
+        // Tiled spans sum to the whole interval by construction; just
+        // check ordering and that totals accumulate.
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["first", "second"]);
+        assert!(spans.total() >= 0.003 - 1e-4);
+    }
+
+    #[test]
+    fn deduct_reattributes_time() {
+        let mut spans = Spans::new();
+        spans.record("enumerate", 1.0);
+        spans.deduct("enumerate", 0.25);
+        assert!((spans.iter().next().unwrap().secs - 0.75).abs() < 1e-12);
+        // Deducting more than the span holds saturates at zero.
+        spans.deduct("enumerate", 10.0);
+        assert_eq!(spans.iter().next().unwrap().secs, 0.0);
+    }
+
+    #[test]
+    fn event_lines_are_json_with_escaping() {
+        let line = format_event(
+            "q\"uote",
+            42,
+            &[
+                ("s", Value::Str("a\\b\nc")),
+                ("n", Value::U64(7)),
+                ("f", Value::F64(0.5)),
+                ("nan", Value::F64(f64::NAN)),
+                ("ok", Value::Bool(true)),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"ev\":\"q\\\"uote\",\"us\":42,\"s\":\"a\\\\b\\nc\",\"n\":7,\"f\":0.5,\"nan\":null,\"ok\":true}\n"
+        );
+    }
+
+    #[test]
+    fn sink_disabled_without_vx_log() {
+        // The test process is run without VX_LOG (the workspace never
+        // sets it); the sink must latch to disabled and `event` must be
+        // a no-op.
+        if std::env::var("VX_LOG").unwrap_or_default().is_empty() {
+            assert!(!log_enabled());
+            event("noop", &[("k", Value::U64(1))]);
+        }
+    }
+}

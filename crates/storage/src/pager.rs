@@ -101,7 +101,16 @@ impl Pager {
         self.stats.misses += 1;
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
-        self.file.read_exact(&mut data[..])?;
+        // The final page of a file whose length is not a page multiple is
+        // short on disk; zero-fill the tail instead of failing.
+        let mut filled = 0;
+        while filled < PAGE_SIZE {
+            let n = self.file.read(&mut data[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
         let frame = Frame {
             page,
             data,

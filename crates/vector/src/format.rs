@@ -3,6 +3,7 @@
 use crate::{Result, VectorError};
 use std::fs;
 use std::path::Path;
+use vx_storage::pager::{Pager, PagerStats, PAGE_SIZE};
 use vx_storage::varint;
 
 const MAGIC: &[u8; 4] = b"VXVC";
@@ -158,6 +159,22 @@ impl Vector {
     /// record-stream integrity.
     pub fn open(path: &Path) -> Result<Self> {
         Self::decode(&fs::read(path)?)
+    }
+
+    /// Strict load through a bounded [`Pager`] buffer pool of `frames`
+    /// frames, returning the pool's hit/miss/eviction statistics along
+    /// with the vector — the bounded-memory read path `vx stats
+    /// --metrics` reports on.
+    pub fn open_paged(path: &Path, frames: usize) -> Result<(Self, PagerStats)> {
+        let len = fs::metadata(path)?.len() as usize;
+        let mut pager = Pager::open(path, frames)?;
+        let mut bytes = Vec::with_capacity(len);
+        for page in 0..pager.page_count() {
+            let take = (len - bytes.len()).min(PAGE_SIZE);
+            pager.with_page(page, |data| bytes.extend_from_slice(&data[..take]))?;
+        }
+        let stats = pager.stats();
+        Ok((Self::decode(&bytes)?, stats))
     }
 
     /// Strict decode from bytes.
@@ -355,6 +372,7 @@ impl Vector {
         Cursor {
             vector: self,
             next: start,
+            stats: CursorStats::default(),
         }
     }
 
@@ -364,21 +382,42 @@ impl Vector {
     }
 }
 
+/// What one cursor did: values it decoded versus values it jumped over
+/// without touching (forward seeks). Deterministic for a given access
+/// pattern.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CursorStats {
+    /// Values returned by `next()`.
+    pub decoded: u64,
+    /// Values skipped by forward `seek`s without being decoded.
+    pub skipped: u64,
+}
+
 /// Sequential scan over a vector.
 pub struct Cursor<'a> {
     vector: &'a Vector,
     next: u64,
+    stats: CursorStats,
 }
 
 impl Cursor<'_> {
-    /// Repositions the cursor.
+    /// Repositions the cursor. Forward moves count the jumped-over
+    /// values as skipped.
     pub fn seek(&mut self, index: u64) {
+        if index > self.next {
+            self.stats.skipped += index - self.next;
+        }
         self.next = index;
     }
 
     /// Current position (index of the value `next()` would return).
     pub fn position(&self) -> u64 {
         self.next
+    }
+
+    /// Decoded/skipped tallies for this cursor so far.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
     }
 }
 
@@ -388,6 +427,7 @@ impl<'a> Iterator for Cursor<'a> {
     fn next(&mut self) -> Option<&'a [u8]> {
         let v = self.vector.get(self.next).ok()?;
         self.next += 1;
+        self.stats.decoded += 1;
         Some(v)
     }
 }

@@ -29,7 +29,7 @@
 mod format;
 mod spill;
 
-pub use format::{Vector, VectorStats, Writer, SKIP_STRIDE};
+pub use format::{Cursor, CursorStats, Vector, VectorStats, Writer, SKIP_STRIDE};
 pub use spill::{SpillPool, SpillVector};
 
 use std::fmt;

@@ -23,7 +23,6 @@
 //! operand).
 
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use xmlvec::bench::StoreSizes;
@@ -31,9 +30,9 @@ use xmlvec::core::{Catalog, Compaction, IngestOptions, Store, VecDoc};
 use xmlvec::{Query, QueryOutput};
 
 const USAGE: &str = "usage:
-  vx ingest <xml-file> <store-dir> [--auto] [--dom] [--drop-misc] [--frames N]
-  vx stats <store-dir>
-  vx query <store-dir> <xquery> [--out values|xml]
+  vx ingest <xml-file> <store-dir> [--auto] [--dom] [--drop-misc] [--frames N] [--metrics]
+  vx stats <store-dir> [--metrics]
+  vx query <store-dir> <xquery> [--out values|xml] [--profile | --profile-json]
   vx reconstruct <store-dir> [--out <file>]
 
 ingest options:
@@ -41,10 +40,17 @@ ingest options:
   --dom        build via the in-memory DOM path instead of streaming
   --drop-misc  drop comments/processing instructions instead of erroring
   --frames N   spill buffer-pool frames for streaming ingest (default: 64)
+  --metrics    report per-phase timings, pipeline tallies, and spill-pool stats
+
+stats options:
+  --metrics    read vectors through a bounded buffer pool and report
+               frame-cache statistics plus per-vector encoding (v1/v2)
 
 query options:
-  --out values one projected text value per line (default)
-  --out xml    serialize the result as an XML document
+  --out values   one projected text value per line (default)
+  --out xml      serialize the result as an XML document
+  --profile      suppress results; print the per-step evaluation profile
+  --profile-json same, as a JSON object
 
 reconstruct options:
   --out FILE   write the XML to FILE instead of stdout";
@@ -61,6 +67,18 @@ fn fail_usage(message: impl std::fmt::Display) -> ! {
     eprintln!("vx: {message}");
     eprintln!("{USAGE}");
     exit(2);
+}
+
+/// Writes to stdout. A broken pipe (the reader, e.g. `head`, closed its
+/// end) is a clean exit 0, not a failure; any other error is
+/// operational.
+fn write_stdout(lock: &mut impl std::io::Write, bytes: &[u8]) {
+    if let Err(e) = lock.write_all(bytes) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            exit(0);
+        }
+        fail(e);
+    }
 }
 
 fn usage() -> ! {
@@ -113,12 +131,14 @@ fn ingest(args: &[String]) {
     let mut positional: Vec<&String> = Vec::new();
     let mut options = IngestOptions::default();
     let mut use_dom = false;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--auto" => options.compaction = Compaction::Auto,
             "--dom" => use_dom = true,
             "--drop-misc" => options.drop_unrepresentable = true,
+            "--metrics" => metrics = true,
             "--frames" => {
                 i += 1;
                 options.spill_frames = args
@@ -136,30 +156,66 @@ fn ingest(args: &[String]) {
     };
     let dir = PathBuf::from(store_dir);
 
+    let mut out = String::new();
     let catalog = if use_dom {
+        let timer = xmlvec::obs::Timer::start();
         let text = std::fs::read_to_string(xml_file)
             .unwrap_or_else(|e| fail(format!("reading {xml_file}: {e}")));
         let doc = xmlvec::xml::parse(&text).unwrap_or_else(|e| fail(e));
+        let parse_secs = timer.secs();
         let vectorize_options = xmlvec::core::VectorizeOptions {
             drop_unrepresentable: options.drop_unrepresentable,
         };
+        let timer = xmlvec::obs::Timer::start();
         let vec_doc =
             xmlvec::core::vectorize_with(&doc, &vectorize_options).unwrap_or_else(|e| fail(e));
-        Store::save(&dir, &vec_doc, options.compaction).unwrap_or_else(|e| fail(e))
+        let vectorize_secs = timer.secs();
+        let timer = xmlvec::obs::Timer::start();
+        let catalog = Store::save(&dir, &vec_doc, options.compaction).unwrap_or_else(|e| fail(e));
+        if metrics {
+            let _ = writeln!(out, "phase        parse      {parse_secs:.6} s");
+            let _ = writeln!(out, "phase        vectorize  {vectorize_secs:.6} s");
+            let _ = writeln!(out, "phase        write      {:.6} s", timer.secs());
+        }
+        catalog
     } else {
         let file =
             std::fs::File::open(xml_file).unwrap_or_else(|e| fail(format!("{xml_file}: {e}")));
         let report = Store::ingest_stream(&dir, std::io::BufReader::new(file), &options)
             .unwrap_or_else(|e| fail(e));
         if report.spill_pages > 0 {
-            println!(
+            let _ = writeln!(
+                out,
                 "spilled {} pages ({} pool misses, {} evictions)",
                 report.spill_pages, report.pager.misses, report.pager.evictions
             );
         }
+        if metrics {
+            let _ = writeln!(out, "phase        pipeline   {:.6} s", report.pipeline_secs);
+            let _ = writeln!(out, "phase        write      {:.6} s", report.write_secs);
+            let _ = writeln!(
+                out,
+                "pipeline     {} events, {} elements, {} values ({} attr, {} text)",
+                report.stats.events,
+                report.stats.elements,
+                report.stats.values(),
+                report.stats.attr_values,
+                report.stats.text_values
+            );
+            let _ = writeln!(
+                out,
+                "spill pool   {} pages, {} hits, {} misses, {} evictions, {} writebacks",
+                report.spill_pages,
+                report.pager.hits,
+                report.pager.misses,
+                report.pager.evictions,
+                report.pager.writebacks
+            );
+        }
         report.catalog
     };
-    println!(
+    let _ = writeln!(
+        out,
         "ingested {} -> {} ({} paths, {} nodes, {} text bytes)",
         xml_file,
         dir.display(),
@@ -167,6 +223,8 @@ fn ingest(args: &[String]) {
         catalog.node_count,
         catalog.text_bytes
     );
+    let stdout = std::io::stdout();
+    write_stdout(&mut stdout.lock(), out.as_bytes());
 }
 
 /// Loads the whole store strictly — the integrity gate shared by `query`
@@ -177,7 +235,15 @@ fn open_store(dir: &Path) -> (VecDoc, Catalog) {
 }
 
 fn stats(args: &[String]) {
-    let (positional, _) = positionals_and_out(args, "stats");
+    let mut positional: Vec<&String> = Vec::new();
+    let mut metrics = false;
+    for arg in args {
+        match arg.as_str() {
+            "--metrics" => metrics = true,
+            flag if flag.starts_with('-') => fail_usage(format!("stats: unknown flag `{flag}`")),
+            _ => positional.push(arg),
+        }
+    }
     let [dir] = positional[..] else {
         fail_usage("stats: expected <store-dir>");
     };
@@ -193,9 +259,28 @@ fn stats(args: &[String]) {
     // Integrity gate: every vector file must decode and agree with its
     // catalog row before anything is printed — a damaged store yields
     // exit 1 and no partial output. One vector is resident at a time.
+    // With --metrics, reads go through a bounded buffer pool so the
+    // frame-cache behaviour of the paged path can be reported.
+    const STATS_FRAMES: usize = 16;
+    let mut pool = xmlvec::storage::pager::PagerStats::default();
+    let mut encodings: Vec<u8> = Vec::with_capacity(catalog.vectors.len());
     for entry in &catalog.vectors {
-        let vector = xmlvec::vector::Vector::open(&dir.join(&entry.file))
-            .unwrap_or_else(|e| fail(format!("vector `{}` ({}): {e}", entry.path, entry.file)));
+        let vector = if metrics {
+            let (vector, stats) =
+                xmlvec::vector::Vector::open_paged(&dir.join(&entry.file), STATS_FRAMES)
+                    .unwrap_or_else(|e| {
+                        fail(format!("vector `{}` ({}): {e}", entry.path, entry.file))
+                    });
+            pool.hits += stats.hits;
+            pool.misses += stats.misses;
+            pool.evictions += stats.evictions;
+            pool.writebacks += stats.writebacks;
+            vector
+        } else {
+            xmlvec::vector::Vector::open(&dir.join(&entry.file))
+                .unwrap_or_else(|e| fail(format!("vector `{}` ({}): {e}", entry.path, entry.file)))
+        };
+        encodings.push(vector.stats().version);
         if vector.len() != entry.count {
             fail(format!(
                 "vector `{}` ({}): catalog says {} records, file has {}",
@@ -236,19 +321,60 @@ fn stats(args: &[String]) {
         sizes.total()
     );
     let _ = writeln!(out, "text bytes   {}", catalog.text_bytes);
-    let _ = writeln!(out, "vectors      {}", catalog.vectors.len());
-    for entry in &catalog.vectors {
+    if metrics {
         let _ = writeln!(
             out,
-            "  {:<12} {:>8} values {:>10} data bytes  {}",
-            entry.file, entry.count, entry.data_bytes, entry.path
+            "frame cache  {} frames: {} hits, {} misses, {} evictions, {} writebacks",
+            STATS_FRAMES, pool.hits, pool.misses, pool.evictions, pool.writebacks
         );
     }
-    print!("{out}");
+    let _ = writeln!(out, "vectors      {}", catalog.vectors.len());
+    for (i, entry) in catalog.vectors.iter().enumerate() {
+        if metrics {
+            let encoding = match encodings[i] {
+                2 => "v2 dict ",
+                _ => "v1 plain",
+            };
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8} values {:>10} data bytes  {encoding}  {}",
+                entry.file, entry.count, entry.data_bytes, entry.path
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8} values {:>10} data bytes  {}",
+                entry.file, entry.count, entry.data_bytes, entry.path
+            );
+        }
+    }
+    let stdout = std::io::stdout();
+    write_stdout(&mut stdout.lock(), out.as_bytes());
 }
 
 fn query(args: &[String]) {
-    let (positional, out_mode) = positionals_and_out(args, "query");
+    let mut positional: Vec<&String> = Vec::new();
+    let mut out_mode: Option<&str> = None;
+    let mut profile = false;
+    let mut profile_json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_mode = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| fail_usage("query: --out needs a value"))
+                        .as_str(),
+                );
+            }
+            "--profile" => profile = true,
+            "--profile-json" => profile_json = true,
+            flag if flag.starts_with('-') => fail_usage(format!("query: unknown flag `{flag}`")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
     let [dir, xq] = positional[..] else {
         fail_usage("query: expected <store-dir> <xquery>");
     };
@@ -268,37 +394,111 @@ fn query(args: &[String]) {
         .into_iter()
         .map(|name| (name, &doc))
         .collect();
+
+    if profile || profile_json {
+        let (output, profile) = compiled
+            .run_corpus_profiled(&corpus)
+            .unwrap_or_else(|e| fail(format!("query: {e}")));
+        let cardinality = match &output {
+            QueryOutput::Values(values) => values.len() as u64,
+            QueryOutput::Document(_) => output.strings().len() as u64,
+        };
+        let report = if profile_json {
+            profile_json_report(xq, cardinality, &profile)
+        } else {
+            profile_report(xq, cardinality, &profile)
+        };
+        let stdout = std::io::stdout();
+        write_stdout(&mut stdout.lock(), report.as_bytes());
+        return;
+    }
+
     let output = compiled
         .run_corpus(&corpus)
         .unwrap_or_else(|e| fail(format!("query: {e}")));
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
     match mode {
         "xml" => {
             let xml = output
                 .to_xml()
                 .unwrap_or_else(|e| fail(format!("query: {e}")));
-            println!("{xml}");
+            write_stdout(&mut lock, xml.as_bytes());
+            write_stdout(&mut lock, b"\n");
         }
-        _ => {
-            let stdout = std::io::stdout();
-            let mut lock = stdout.lock();
-            match &output {
-                QueryOutput::Values(values) => {
-                    // Values are raw bytes; write them unmangled.
-                    for value in values {
-                        lock.write_all(value)
-                            .and_then(|()| lock.write_all(b"\n"))
-                            .unwrap_or_else(|e| fail(e));
-                    }
-                }
-                QueryOutput::Document(_) => {
-                    for value in output.strings() {
-                        writeln!(&mut lock as &mut dyn std::io::Write, "{value}")
-                            .unwrap_or_else(|e| fail(e));
-                    }
+        _ => match &output {
+            QueryOutput::Values(values) => {
+                // Values are raw bytes; write them unmangled.
+                for value in values {
+                    write_stdout(&mut lock, value);
+                    write_stdout(&mut lock, b"\n");
                 }
             }
-        }
+            QueryOutput::Document(_) => {
+                for value in output.strings() {
+                    write_stdout(&mut lock, value.as_bytes());
+                    write_stdout(&mut lock, b"\n");
+                }
+            }
+        },
     }
+}
+
+/// The human-readable `--profile` report: steps tile the total, so the
+/// percentage column is relative to the step sum.
+fn profile_report(xq: &str, cardinality: u64, profile: &xmlvec::engine::QueryProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "query        {xq}");
+    let _ = writeln!(
+        out,
+        "total        {:.6} s (steps sum {:.6} s)",
+        profile.total_secs,
+        profile.steps_total()
+    );
+    let _ = writeln!(out, "cardinality  {cardinality}");
+    let _ = writeln!(out, "steps");
+    let steps_total = profile.steps_total().max(f64::MIN_POSITIVE);
+    for step in &profile.steps {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>11.6} s {:>5.1}%",
+            step.name,
+            step.secs,
+            100.0 * step.secs / steps_total
+        );
+    }
+    let _ = writeln!(out, "variables");
+    for var in &profile.variables {
+        let name = if var.name.is_empty() {
+            "(doc)"
+        } else {
+            &var.name
+        };
+        let _ = writeln!(out, "  {:<16} {:>11} occurrences", name, var.occurrences);
+    }
+    let _ = writeln!(out, "counters");
+    for (name, value) in profile.counters.iter() {
+        let _ = writeln!(out, "  {name:<22} {value:>13}");
+    }
+    out
+}
+
+/// The machine-readable `--profile-json` report: the shared
+/// `vx_bench::profile_json` shape plus `query` and `cardinality` keys.
+fn profile_json_report(
+    xq: &str,
+    cardinality: u64,
+    profile: &xmlvec::engine::QueryProfile,
+) -> String {
+    use xmlvec::core::json::Json;
+    let Json::Object(mut fields) = xmlvec::bench::profile_json(profile) else {
+        unreachable!("profile_json returns an object");
+    };
+    fields.insert(0, ("query".into(), Json::Str(xq.to_string())));
+    fields.insert(1, ("cardinality".into(), Json::Num(cardinality as f64)));
+    let mut text = xmlvec::core::json::to_string_pretty(&Json::Object(fields));
+    text.push('\n');
+    text
 }
 
 fn reconstruct(args: &[String]) {
@@ -315,8 +515,7 @@ fn reconstruct(args: &[String]) {
         }
         None => {
             let stdout = std::io::stdout();
-            let mut lock = stdout.lock();
-            lock.write_all(xml.as_bytes()).unwrap_or_else(|e| fail(e));
+            write_stdout(&mut stdout.lock(), xml.as_bytes());
         }
     }
 }

@@ -15,6 +15,7 @@
 //!
 //! | crate | layer |
 //! |---|---|
+//! | [`vx_obs`] | counters, span timers, `VX_LOG` event sink |
 //! | [`vx_xml`] | XML 1.0 parser, DOM, writer |
 //! | [`vx_storage`] | varints, paged file access |
 //! | [`vx_skeleton`] | hash-consed DAG, `.vxsk` format, path index |
@@ -44,6 +45,7 @@ pub use vx_core as core;
 pub use vx_data as data;
 pub use vx_engine as engine;
 pub use vx_ingest as ingest;
+pub use vx_obs as obs;
 pub use vx_skeleton as skeleton;
 pub use vx_storage as storage;
 pub use vx_vector as vector;

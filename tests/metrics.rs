@@ -1,0 +1,250 @@
+//! End-to-end tests for the observability surface: profile determinism,
+//! span accounting, the `VX_LOG` event sink, `--profile-json`, and the
+//! broken-pipe exit contract — driving both the in-process engine and
+//! the compiled `vx` binary.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use xmlvec::core::json;
+use xmlvec::Query;
+
+fn vx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vx"))
+}
+
+/// A scratch directory removed on drop, unique per test.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("vx-metrics-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Saves a vectorized XMark corpus as an on-disk store for CLI runs.
+fn xmark_store(scratch: &Scratch) -> PathBuf {
+    let doc = xmlvec::data::xmark(7, 30);
+    let vec_doc = xmlvec::core::vectorize(&doc).unwrap();
+    let dir = scratch.path("xk-store");
+    xmlvec::core::Store::save(&dir, &vec_doc, xmlvec::core::Compaction::None).unwrap();
+    dir
+}
+
+const JOIN_QUERY: &str = r#"for $p in doc("xk")/site/people/person,
+   $o in doc("xk")/site/open_auctions/open_auction
+   where $o/seller/@person = $p/@id return $p/name"#;
+
+/// Operation counters and cardinalities are a pure function of the query
+/// and the data: two profiled runs agree exactly. Span timers are wall
+/// clock and excluded on purpose.
+#[test]
+fn profiled_counters_are_deterministic() {
+    let doc = xmlvec::data::xmark(7, 30);
+    let vec_doc = xmlvec::core::vectorize(&doc).unwrap();
+    let q = Query::new(JOIN_QUERY).unwrap();
+
+    let (out_a, prof_a) = q.run_profiled(&vec_doc).unwrap();
+    let (out_b, prof_b) = q.run_profiled(&vec_doc).unwrap();
+    let out_plain = q.run(&vec_doc).unwrap();
+
+    assert_eq!(out_a.strings(), out_b.strings());
+    assert_eq!(
+        out_a.strings(),
+        out_plain.strings(),
+        "profiling changed the answer"
+    );
+
+    let counters = |p: &xmlvec::engine::QueryProfile| p.counters.iter().collect::<Vec<_>>();
+    assert!(!counters(&prof_a).is_empty());
+    assert_eq!(counters(&prof_a), counters(&prof_b));
+    assert_eq!(
+        prof_a
+            .variables
+            .iter()
+            .map(|v| (&v.name, v.occurrences))
+            .collect::<Vec<_>>(),
+        prof_b
+            .variables
+            .iter()
+            .map(|v| (&v.name, v.occurrences))
+            .collect::<Vec<_>>(),
+    );
+    // Same steps in the same order; durations are free to differ.
+    assert_eq!(
+        prof_a.steps.iter().map(|s| &s.name).collect::<Vec<_>>(),
+        prof_b.steps.iter().map(|s| &s.name).collect::<Vec<_>>(),
+    );
+}
+
+/// The step spans tile the measured interval: their sum accounts for the
+/// profile's total, up to the bookkeeping outside the last boundary.
+#[test]
+fn profile_steps_tile_the_total() {
+    let doc = xmlvec::data::xmark(7, 60);
+    let vec_doc = xmlvec::core::vectorize(&doc).unwrap();
+    let (_, profile) = Query::new(JOIN_QUERY)
+        .unwrap()
+        .run_profiled(&vec_doc)
+        .unwrap();
+
+    let sum = profile.steps_total();
+    assert!(sum > 0.0 && profile.total_secs > 0.0);
+    assert!(
+        (profile.total_secs - sum).abs() <= 0.05 * profile.total_secs + 1e-4,
+        "steps sum {sum} vs total {}",
+        profile.total_secs
+    );
+}
+
+/// With `VX_LOG` unset the binary emits no event output at all: stderr
+/// stays empty and stdout carries only the query results.
+#[test]
+fn vx_log_unset_means_silence() {
+    let scratch = Scratch::new("silent");
+    let store = xmark_store(&scratch);
+    let out = vx()
+        .args(["query", store.to_str().unwrap(), JOIN_QUERY])
+        .env_remove("VX_LOG")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stderr),
+        "",
+        "no events expected"
+    );
+    assert!(!out.stdout.is_empty());
+}
+
+/// `VX_LOG=<file>` appends one JSON object per line; every line parses,
+/// carries `ev`/`us` keys, and the engine emits its step events plus a
+/// reduce summary.
+#[test]
+fn vx_log_file_sink_writes_json_lines() {
+    let scratch = Scratch::new("sink");
+    let store = xmark_store(&scratch);
+    let log = scratch.path("events.jsonl");
+    let out = vx()
+        .args(["query", store.to_str().unwrap(), JOIN_QUERY])
+        .env("VX_LOG", &log)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let parsed = json::parse(line).unwrap_or_else(|e| panic!("bad event line {line:?}: {e}"));
+        assert!(parsed.get("us").is_some(), "missing us in {line:?}");
+        events.push(
+            parsed
+                .get("ev")
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .to_string(),
+        );
+    }
+    assert!(
+        events.iter().filter(|e| *e == "engine.step").count() >= 4,
+        "events: {events:?}"
+    );
+    assert_eq!(events.iter().filter(|e| *e == "engine.reduce").count(), 1);
+}
+
+/// `vx query --profile-json` prints one well-formed JSON document whose
+/// steps sum to its total and whose cardinality matches the in-process
+/// engine.
+#[test]
+fn profile_json_schema_holds() {
+    let scratch = Scratch::new("pjson");
+    let store = xmark_store(&scratch);
+    let out = vx()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            JOIN_QUERY,
+            "--profile-json",
+        ])
+        .env_remove("VX_LOG")
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let report = json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        report.get("query").and_then(|v| v.as_str()),
+        Some(JOIN_QUERY)
+    );
+    let steps = report.get("steps").and_then(|v| v.as_array()).unwrap();
+    assert!(steps
+        .iter()
+        .all(|s| s.get("step").is_some() && s.get("secs").is_some()));
+    assert!(report
+        .get("counters")
+        .and_then(|c| c.get("tuples.emitted"))
+        .is_some());
+    assert!(!report
+        .get("variables")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .is_empty());
+
+    let doc = xmlvec::data::xmark(7, 30);
+    let vec_doc = xmlvec::core::vectorize(&doc).unwrap();
+    let expected = Query::new(JOIN_QUERY).unwrap().run(&vec_doc).unwrap();
+    assert_eq!(
+        report.get("cardinality").and_then(|v| v.as_u64()),
+        Some(expected.strings().len() as u64)
+    );
+}
+
+/// `vx query | head`: the reader hanging up mid-stream is a success, not
+/// an error — the CLI maps `BrokenPipe` on stdout to exit 0.
+#[test]
+fn closed_pipe_is_not_an_error() {
+    let scratch = Scratch::new("pipe");
+    // Enough output to overrun any pipe buffer (~19 bytes × 8000 rows).
+    let doc = xmlvec::data::skyserver(11, 8000);
+    let vec_doc = xmlvec::core::vectorize(&doc).unwrap();
+    let store = scratch.path("ss-store");
+    xmlvec::core::Store::save(&store, &vec_doc, xmlvec::core::Compaction::None).unwrap();
+
+    let mut child = vx()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            r#"for $r in doc("ss")//PhotoObj return $r/objID"#,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut first = String::new();
+    {
+        let mut reader = BufReader::new(child.stdout.take().unwrap());
+        reader.read_line(&mut first).unwrap();
+        // Dropping the reader closes our end; the writer sees EPIPE.
+    }
+    let status = child.wait().unwrap();
+    assert!(!first.trim().is_empty(), "expected at least one value");
+    assert_eq!(status.code(), Some(0), "broken pipe must exit 0");
+}
