@@ -1,0 +1,239 @@
+//! `StoreHandle` — an opened store as a shared immutable value.
+//!
+//! The paper's stores are read-mostly and the skeleton is tiny by
+//! design, which makes an opened store ideal for many concurrent
+//! readers. A [`StoreHandle`] packages everything the read path needs —
+//! the hash-consed skeleton (inside the [`VecDoc`]), the fully decoded
+//! data vectors, the [`Catalog`], and the precomputed [`PathIndex`] —
+//! behind one `Arc`. Cloning a handle is a reference-count bump; the
+//! store directory is read **once**, at [`StoreHandle::open`] time, and
+//! never touched again.
+//!
+//! The split the engine relies on:
+//!
+//! * **Shared immutable** (this type): skeleton DAG, data vectors,
+//!   catalog, per-node text layout. `Send + Sync` is enforced at compile
+//!   time below, so a handle can be captured by any number of worker
+//!   threads (`vx serve`, the parallel reduce loop, the bench harness).
+//! * **Per-query scratch** (owned by each evaluation): NFA machine
+//!   states, per-path cursors, extended-vector rows, join indexes. The
+//!   engine allocates those per call; nothing in this type is ever
+//!   mutated by a query.
+
+use crate::store::{Catalog, Store};
+use crate::vecdoc::VecDoc;
+use crate::{CoreError, Result};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use vx_skeleton::{NodeId, PathIndex, Skeleton};
+
+/// Everything derived from one store directory, immutable after open.
+struct StoreInner {
+    /// Directory the store was opened from; empty for in-memory handles.
+    dir: PathBuf,
+    /// Default `doc("…")` name: the directory's file name (or an
+    /// explicit override for in-memory handles).
+    name: String,
+    doc: VecDoc,
+    catalog: Catalog,
+    index: PathIndex,
+}
+
+/// A shared, immutable, opened store. See the module docs for the
+/// concurrency contract. Cheap to clone (`Arc` bump).
+#[derive(Clone)]
+pub struct StoreHandle {
+    inner: Arc<StoreInner>,
+}
+
+/// The whole read path must be shareable across threads without locks:
+/// a handle that stopped being `Send + Sync` (say, a cache slipped in a
+/// `Cell`) is a compile error here, not a runtime surprise.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<StoreHandle>();
+
+impl StoreHandle {
+    /// Opens the store in `dir` once: strict [`Store::open`] (every
+    /// vector file must decode and agree with the catalog), then the
+    /// skeleton/vector integrity gate, then the path-index precompute.
+    /// The returned handle never reads the directory again.
+    pub fn open(dir: &Path) -> Result<StoreHandle> {
+        let (doc, catalog) = Store::open(dir)?;
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        Self::assemble(dir.to_path_buf(), name, doc, catalog)
+    }
+
+    /// Wraps an in-memory [`VecDoc`] (e.g. freshly vectorized, never
+    /// saved) as a handle named `name`. The catalog is synthesized from
+    /// the document; there is no backing directory.
+    pub fn from_doc(name: &str, doc: VecDoc) -> Result<StoreHandle> {
+        let catalog = Catalog {
+            vectors: doc
+                .vectors()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| crate::store::CatalogEntry {
+                    path: v.path.clone(),
+                    file: format!("v{i:06}.vec"),
+                    count: v.values.len() as u64,
+                    data_bytes: v.values.iter().map(|b| b.len() as u64).sum(),
+                })
+                .collect(),
+            node_count: doc.node_count(),
+            text_bytes: doc.text_bytes(),
+        };
+        Self::assemble(PathBuf::new(), name.to_string(), doc, catalog)
+    }
+
+    fn assemble(dir: PathBuf, name: String, doc: VecDoc, catalog: Catalog) -> Result<StoreHandle> {
+        let root = doc
+            .root
+            .ok_or_else(|| CoreError::Corrupt("store has no root node".into()))?;
+        let index = PathIndex::new(&doc.skeleton, root);
+
+        // Integrity gate, hoisted out of the engine's per-query path:
+        // every root-to-text path the skeleton counts must be backed by a
+        // vector of exactly that many values, or queries over this
+        // handle could silently return partial answers.
+        for (rel, count) in index.text_paths(&doc.skeleton) {
+            let path: String = rel
+                .iter()
+                .map(|&n| doc.skeleton.name(n))
+                .collect::<Vec<_>>()
+                .join("/");
+            match doc.vector(&path) {
+                None => {
+                    return Err(CoreError::Corrupt(format!(
+                        "no vector for path {path} (skeleton counts {count})"
+                    )));
+                }
+                Some(vector) if vector.values.len() as u64 != count => {
+                    return Err(CoreError::Corrupt(format!(
+                        "vector {path} has {} values, skeleton counts {count}",
+                        vector.values.len()
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+
+        Ok(StoreHandle {
+            inner: Arc::new(StoreInner {
+                dir,
+                name,
+                doc,
+                catalog,
+                index,
+            }),
+        })
+    }
+
+    /// The directory this handle was opened from (empty for
+    /// [`StoreHandle::from_doc`] handles).
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// The handle's default `doc("…")` name (directory basename).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The decoded vectorized document.
+    pub fn doc(&self) -> &VecDoc {
+        &self.inner.doc
+    }
+
+    /// The store's skeleton DAG.
+    pub fn skeleton(&self) -> &Skeleton {
+        &self.inner.doc.skeleton
+    }
+
+    /// The skeleton root.
+    pub fn root(&self) -> NodeId {
+        self.inner.index.root()
+    }
+
+    /// The parsed catalog (synthesized for in-memory handles).
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
+    /// The precomputed per-node text layout, shared by every query that
+    /// runs over this handle.
+    pub fn index(&self) -> &PathIndex {
+        &self.inner.index
+    }
+}
+
+impl std::fmt::Debug for StoreHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHandle")
+            .field("dir", &self.inner.dir)
+            .field("name", &self.inner.name)
+            .field("vectors", &self.inner.doc.vectors().len())
+            .field("node_count", &self.inner.catalog.node_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Compaction;
+    use crate::vectorize::vectorize;
+    use std::fs;
+    use vx_xml::parse;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vx-handle-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_clone_and_share() {
+        let doc = parse("<lib><book><t>A</t></book><book><t>B</t></book></lib>").unwrap();
+        let v = vectorize(&doc).unwrap();
+        let dir = temp_dir("share");
+        Store::save(&dir, &v, Compaction::None).unwrap();
+        let handle = StoreHandle::open(&dir).unwrap();
+        assert_eq!(handle.catalog().vectors.len(), 1);
+        assert!(handle.name().starts_with("vx-handle-"));
+
+        // Clones share the same inner store; threads may hold them.
+        let clone = handle.clone();
+        let joined = std::thread::spawn(move || clone.doc().text_count())
+            .join()
+            .unwrap();
+        assert_eq!(joined, handle.doc().text_count());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_doc_synthesizes_catalog() {
+        let doc = parse("<a><b>1</b><b>2</b><c>x</c></a>").unwrap();
+        let v = vectorize(&doc).unwrap();
+        let handle = StoreHandle::from_doc("mem", v).unwrap();
+        assert_eq!(handle.name(), "mem");
+        assert_eq!(handle.catalog().vectors.len(), 2);
+        assert_eq!(handle.catalog().vectors[0].count, 2);
+        assert_eq!(handle.dir(), Path::new(""));
+    }
+
+    #[test]
+    fn open_rejects_vector_count_mismatch() {
+        let doc = parse("<a><b>1</b><b>2</b></a>").unwrap();
+        let mut v = vectorize(&doc).unwrap();
+        // Drop a value behind the skeleton's back.
+        let path = v.vectors()[0].path.clone();
+        v.insert_vector(crate::vecdoc::PathVector {
+            path,
+            values: vec![b"1".to_vec()],
+        });
+        assert!(StoreHandle::from_doc("bad", v).is_err());
+    }
+}

@@ -14,6 +14,7 @@
 //!   damaged by the seed capture's byte-dropping sanitizer.
 
 mod builder;
+mod handle;
 mod ingest;
 pub mod json;
 mod reconstruct;
@@ -22,6 +23,7 @@ mod vecdoc;
 mod vectorize;
 
 pub use builder::VecDocBuilder;
+pub use handle::StoreHandle;
 pub use ingest::{IngestOptions, IngestReport};
 pub use reconstruct::{reconstruct, reconstruct_salvage, ReconstructReport};
 pub use store::{Catalog, CatalogEntry, Compaction, SalvageStore, Store};

@@ -42,10 +42,10 @@ pub use graph::{
 };
 pub use oracle::{naive_eval, NaiveOutput};
 pub use profile::{QueryProfile, VarCardinality};
-pub use reduce::{reduce, reduce_profiled};
+pub use reduce::{reduce, reduce_profiled, DocBinding};
 
 use std::fmt;
-use vx_core::{reconstruct, CoreError, VecDoc};
+use vx_core::{reconstruct, CoreError, StoreHandle, VecDoc};
 use vx_xml::{write_document, Element, Node, WriteOptions};
 use vx_xquery::{Span, XqError};
 
@@ -140,6 +140,12 @@ pub struct Query {
     graph: QueryGraph,
 }
 
+/// A compiled query holds no per-run state — compile once, run from any
+/// number of threads. Kept true at compile time: if scratch ever leaks
+/// into `Query`, `vx serve`'s shared query cache stops building here.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<Query>();
+
 impl Query {
     /// Parses, desugars, and compiles `source`.
     pub fn new(source: &str) -> Result<Query> {
@@ -170,14 +176,70 @@ impl Query {
             .into_iter()
             .map(|name| (name, doc))
             .collect();
-        reduce::reduce_hinted(&self.graph, &docs, &self.source)
+        reduce::reduce_hinted(&self.graph, &docs, &self.source, true)
     }
 
     /// Runs against a named corpus; each `doc("name")` resolves through
     /// the slice. Unknown names fail with
-    /// [`EngineError::UnknownDocument`].
+    /// [`EngineError::UnknownDocument`]. Queries spanning several
+    /// documents collect them in parallel (one scoped thread per
+    /// document); results are byte-identical to the serial pass.
     pub fn run_corpus(&self, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
-        reduce::reduce_hinted(&self.graph, docs, &self.source)
+        reduce::reduce_hinted(&self.graph, docs, &self.source, true)
+    }
+
+    /// As [`Query::run_corpus`] with the per-document fan-out disabled —
+    /// the serial baseline the bench harness compares against.
+    pub fn run_corpus_serial(&self, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
+        reduce::reduce_hinted(&self.graph, docs, &self.source, false)
+    }
+
+    /// Runs against one opened store: every `doc("…")` name resolves to
+    /// the handle, and its precomputed [`vx_skeleton::PathIndex`] is
+    /// reused instead of being rebuilt per query. This is the `vx serve`
+    /// hot path — the handle is shared across threads, the query holds
+    /// no mutable state, and all scratch lives in the call.
+    pub fn run_handle(&self, store: &StoreHandle) -> Result<QueryOutput> {
+        let bindings: Vec<DocBinding<'_>> = self
+            .graph
+            .doc_names()
+            .into_iter()
+            .map(|name| DocBinding {
+                name,
+                doc: store.doc(),
+                index: Some(store.index()),
+            })
+            .collect();
+        reduce::reduce_bindings_hinted(&self.graph, &bindings, &self.source, true)
+    }
+
+    /// Runs against several opened stores; each `doc("name")` resolves
+    /// to the handle whose [`StoreHandle::name`] matches. Cross-store
+    /// queries collect the referenced stores in parallel.
+    pub fn run_handles(&self, stores: &[StoreHandle]) -> Result<QueryOutput> {
+        let bindings: Vec<DocBinding<'_>> = stores
+            .iter()
+            .map(|s| DocBinding {
+                name: s.name(),
+                doc: s.doc(),
+                index: Some(s.index()),
+            })
+            .collect();
+        reduce::reduce_bindings_hinted(&self.graph, &bindings, &self.source, true)
+    }
+
+    /// As [`Query::run_handles`] with the per-document fan-out disabled
+    /// (the serial baseline for `BENCH_serve.json`'s parallel section).
+    pub fn run_handles_serial(&self, stores: &[StoreHandle]) -> Result<QueryOutput> {
+        let bindings: Vec<DocBinding<'_>> = stores
+            .iter()
+            .map(|s| DocBinding {
+                name: s.name(),
+                doc: s.doc(),
+                index: Some(s.index()),
+            })
+            .collect();
+        reduce::reduce_bindings_hinted(&self.graph, &bindings, &self.source, false)
     }
 
     /// Like [`Query::run`], but instrumented: also returns the

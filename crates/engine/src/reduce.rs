@@ -37,37 +37,92 @@ use vx_core::{VecDoc, VecDocBuilder};
 use vx_obs::{Counters, Spans};
 use vx_skeleton::{NodeId, PathIndex, PathPattern, PatternStep, PatternTest, Skeleton};
 
+/// One document made available to evaluation: its `doc("…")` name, the
+/// decoded vectorized document, and — for handle-opened stores — the
+/// precomputed [`PathIndex`] shared by every query over that store.
+/// When `index` is `None`, collection builds (and integrity-gates) a
+/// fresh index for the run; when it is `Some`, the store was already
+/// gated at [`vx_core::StoreHandle::open`] time.
+#[derive(Clone, Copy)]
+pub struct DocBinding<'a> {
+    /// The `doc("…")` name this entry answers to.
+    pub name: &'a str,
+    /// The decoded vectorized document.
+    pub doc: &'a VecDoc,
+    /// Precomputed per-node text layout, if the caller holds one.
+    pub index: Option<&'a PathIndex>,
+}
+
+fn bindings_of<'a>(docs: &'a [(&'a str, &'a VecDoc)]) -> Vec<DocBinding<'a>> {
+    docs.iter()
+        .map(|&(name, doc)| DocBinding {
+            name,
+            doc,
+            index: None,
+        })
+        .collect()
+}
+
 /// Evaluates `graph` against the named documents. Every `doc("…")` name
 /// the graph mentions must appear in `docs` (first entry wins on
 /// duplicates).
 pub fn reduce(graph: &QueryGraph, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
-    Ok(reduce_inner(graph, docs, false, "")?.0)
+    Ok(reduce_inner(graph, &bindings_of(docs), false, "", true)?.0)
 }
 
 /// As [`reduce`], labelling any `VX_LOG` events with `hint` (the query
-/// source). [`crate::Query`] routes through this.
+/// source). [`crate::Query`] routes through this. `parallel` gates the
+/// per-document fan-out (serial runs exist for A/B benching).
 pub(crate) fn reduce_hinted(
     graph: &QueryGraph,
     docs: &[(&str, &VecDoc)],
     hint: &str,
+    parallel: bool,
 ) -> Result<QueryOutput> {
-    Ok(reduce_inner(graph, docs, false, hint)?.0)
+    Ok(reduce_inner(graph, &bindings_of(docs), false, hint, parallel)?.0)
+}
+
+/// As [`reduce_hinted`], over pre-built bindings (handle-backed runs).
+pub(crate) fn reduce_bindings_hinted(
+    graph: &QueryGraph,
+    docs: &[DocBinding<'_>],
+    hint: &str,
+    parallel: bool,
+) -> Result<QueryOutput> {
+    Ok(reduce_inner(graph, docs, false, hint, parallel)?.0)
 }
 
 /// Evaluates `graph` with instrumentation on: the returned
 /// [`QueryProfile`] carries per-step spans (which tile the total),
 /// deterministic operation counters, and per-variable extended-vector
 /// cardinalities. `hint` labels the query in `VX_LOG` events.
+/// Profiled runs always collect serially — per-step spans must tile the
+/// total, which interleaved document passes would break.
 pub fn reduce_profiled(
     graph: &QueryGraph,
     docs: &[(&str, &VecDoc)],
     hint: &str,
 ) -> Result<(QueryOutput, QueryProfile)> {
-    let (output, profile) = reduce_inner(graph, docs, true, hint)?;
+    let (output, profile) = reduce_inner(graph, &bindings_of(docs), true, hint, false)?;
     Ok((
         output,
         profile.expect("reduce_inner profiles when asked to"),
     ))
+}
+
+/// Whether multi-document collection may fan out on scoped threads.
+/// Auto: only when the host reports ≥ 2 CPUs — on a single core the
+/// fan-out is pure spawn/merge overhead. The `VX_PARALLEL` environment
+/// variable overrides: `0`/`off` never fans out, `force` always does
+/// (the concurrency differential tests and `bench_serve` use `force`
+/// so the scoped-thread merge path is exercised and measured even on
+/// single-core hosts).
+fn fan_out_enabled() -> bool {
+    match std::env::var("VX_PARALLEL") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => false,
+        Ok(v) if v.eq_ignore_ascii_case("force") => true,
+        _ => std::thread::available_parallelism().is_ok_and(|n| n.get() >= 2),
+    }
 }
 
 /// The shared evaluation body. Timers run only when `want_profile` is
@@ -76,9 +131,10 @@ pub fn reduce_profiled(
 /// what keeps the disabled path inside the < 5 % bench budget.
 fn reduce_inner(
     graph: &QueryGraph,
-    docs: &[(&str, &VecDoc)],
+    docs: &[DocBinding<'_>],
     want_profile: bool,
     hint: &str,
+    parallel: bool,
 ) -> Result<(QueryOutput, Option<QueryProfile>)> {
     let profiling = want_profile || vx_obs::log_enabled();
     let total = Instant::now();
@@ -89,8 +145,8 @@ fn reduce_inner(
 
     // Resolve document names.
     let mut doc_of_name: HashMap<&str, usize> = HashMap::new();
-    for (i, (name, _)) in docs.iter().enumerate() {
-        doc_of_name.entry(name).or_insert(i);
+    for (i, binding) in docs.iter().enumerate() {
+        doc_of_name.entry(binding.name).or_insert(i);
     }
     for name in graph.doc_names() {
         if !doc_of_name.contains_key(name) {
@@ -129,24 +185,76 @@ fn reduce_inner(
     }
 
     // --- Collection: one skeleton pass per referenced document. -------
+    //
+    // Documents are independent (each variable and reference belongs to
+    // exactly one), so the per-document passes fan out over scoped
+    // threads when there is more than one, the host has more than one
+    // CPU, and nobody is watching the clock: each thread fills a
+    // private `State`, and the merge moves each document's slots into
+    // the shared one — the result is byte-identical to the serial pass.
+    // The last document is collected on the calling thread (spawning
+    // buys nothing for it), and profiled runs stay serial so the
+    // `match:{doc}` spans keep tiling the total.
+    let referenced: Vec<usize> = (0..docs.len()).filter(|i| var_doc.contains(i)).collect();
     let mut state = State::new(graph);
     let mut walk_tally = WalkTally::default();
-    for (doc_idx, (name, doc)) in docs.iter().enumerate() {
-        if !var_doc.contains(&doc_idx) {
-            continue;
+    if parallel && !profiling && referenced.len() >= 2 && fan_out_enabled() {
+        let var_doc_ref = &var_doc;
+        let var_children_ref = &var_children;
+        let refs_of_var_ref = &refs_of_var;
+        let collect_one = |doc_idx: usize| -> Result<(State, WalkTally)> {
+            let mut sub = State::new(graph);
+            let mut tally = WalkTally::default();
+            collect_doc(
+                graph,
+                docs[doc_idx].doc,
+                docs[doc_idx].index,
+                doc_idx,
+                var_doc_ref,
+                var_children_ref,
+                refs_of_var_ref,
+                &mut sub,
+                &mut tally,
+            )?;
+            Ok((sub, tally))
+        };
+        let collected: Vec<Result<(State, WalkTally)>> = std::thread::scope(|scope| {
+            let (&last_idx, rest) = referenced.split_last().expect("len >= 2");
+            let workers: Vec<_> = rest
+                .iter()
+                .map(|&doc_idx| scope.spawn(move || collect_one(doc_idx)))
+                .collect();
+            let last = collect_one(last_idx);
+            let mut results: Vec<Result<(State, WalkTally)>> = workers
+                .into_iter()
+                .map(|w| w.join().expect("document collector thread panicked"))
+                .collect();
+            results.push(last);
+            results
+        });
+        // Merge in document order; errors surface in document order too,
+        // matching what the serial loop would have reported first.
+        for (&doc_idx, sub) in referenced.iter().zip(collected) {
+            let (sub_state, sub_tally) = sub?;
+            state.adopt(sub_state, doc_idx, &var_doc, graph);
+            walk_tally.add(&sub_tally);
         }
-        collect_doc(
-            graph,
-            doc,
-            doc_idx,
-            &var_doc,
-            &var_children,
-            &refs_of_var,
-            &mut state,
-            &mut walk_tally,
-        )?;
-        if profiling {
-            spans.tile(Some(&format!("match:{name}")));
+    } else {
+        for &doc_idx in &referenced {
+            collect_doc(
+                graph,
+                docs[doc_idx].doc,
+                docs[doc_idx].index,
+                doc_idx,
+                &var_doc,
+                &var_children,
+                &refs_of_var,
+                &mut state,
+                &mut walk_tally,
+            )?;
+            if profiling {
+                spans.tile(Some(&format!("match:{}", docs[doc_idx].name)));
+            }
         }
     }
     state.flatten_values();
@@ -310,6 +418,24 @@ impl State {
         }
     }
 
+    /// Moves document `doc_idx`'s slots out of `sub` (a state filled by
+    /// a parallel per-document pass) into `self`. Each variable and
+    /// reference belongs to exactly one document, so the moves are
+    /// disjoint and the merged state matches a serial pass exactly.
+    fn adopt(&mut self, mut sub: State, doc_idx: usize, var_doc: &[usize], graph: &QueryGraph) {
+        for (v, &owner) in var_doc.iter().enumerate().take(graph.vars.len()) {
+            if owner == doc_idx {
+                self.occ_parent[v] = std::mem::take(&mut sub.occ_parent[v]);
+            }
+        }
+        for (r, vref) in graph.refs.iter().enumerate() {
+            if var_doc[vref.var] == doc_idx {
+                self.ref_data[r] =
+                    std::mem::replace(&mut sub.ref_data[r], RefData::Exists(Vec::new()));
+            }
+        }
+    }
+
     fn flatten_values(&mut self) {
         for data in &mut self.ref_data {
             if let RefData::Values(groups) = data {
@@ -361,6 +487,20 @@ struct WalkTally {
     values_passed: u64,
     /// Text values bulk-advanced during skips (`cursor.values.skipped`).
     values_skipped: u64,
+}
+
+impl WalkTally {
+    /// Folds a per-document tally into the run total. All counters are
+    /// plain sums, so parallel per-document collection reports exactly
+    /// the numbers the serial pass would.
+    fn add(&mut self, other: &WalkTally) {
+        self.visits += other.visits;
+        self.bulk_skips += other.bulk_skips;
+        self.nfa_advances += other.nfa_advances;
+        self.nfa_accepts += other.nfa_accepts;
+        self.values_passed += other.values_passed;
+        self.values_skipped += other.values_skipped;
+    }
 }
 
 /// Counters accumulated during tuple enumeration. `Cell`s because the
@@ -432,6 +572,7 @@ fn pattern_of(steps: &[PatStep], skeleton: &Skeleton) -> Result<PathPattern> {
 fn collect_doc(
     graph: &QueryGraph,
     doc: &VecDoc,
+    precomputed: Option<&PathIndex>,
     doc_idx: usize,
     var_doc: &[usize],
     var_children: &[Vec<usize>],
@@ -461,32 +602,43 @@ fn collect_doc(
         }
     }
 
-    let index = PathIndex::new(skeleton, root);
+    // Handle-backed documents arrive with the index precomputed and the
+    // store already integrity-gated at open time; bare `VecDoc`s build a
+    // fresh index and are gated here.
+    let built;
+    let index: &PathIndex = match precomputed {
+        Some(index) => index,
+        None => {
+            built = PathIndex::new(skeleton, root);
 
-    // Integrity gate: every root-to-text path the skeleton counts must
-    // be backed by a vector of exactly that many values, or evaluation
-    // would silently return partial answers over a damaged store.
-    for (rel, count) in index.text_paths() {
-        let path: String = rel
-            .iter()
-            .map(|&n| skeleton.name(n))
-            .collect::<Vec<_>>()
-            .join("/");
-        match doc.vector(&path) {
-            None => {
-                return Err(EngineError::Corrupt(format!(
-                    "no vector for path {path} (skeleton counts {count})"
-                )));
+            // Integrity gate: every root-to-text path the skeleton counts
+            // must be backed by a vector of exactly that many values, or
+            // evaluation would silently return partial answers over a
+            // damaged store.
+            for (rel, count) in built.text_paths(skeleton) {
+                let path: String = rel
+                    .iter()
+                    .map(|&n| skeleton.name(n))
+                    .collect::<Vec<_>>()
+                    .join("/");
+                match doc.vector(&path) {
+                    None => {
+                        return Err(EngineError::Corrupt(format!(
+                            "no vector for path {path} (skeleton counts {count})"
+                        )));
+                    }
+                    Some(vector) if vector.values.len() as u64 != count => {
+                        return Err(EngineError::Corrupt(format!(
+                            "vector {path} has {} values, skeleton counts {count}",
+                            vector.values.len()
+                        )));
+                    }
+                    Some(_) => {}
+                }
             }
-            Some(vector) if vector.values.len() as u64 != count => {
-                return Err(EngineError::Corrupt(format!(
-                    "vector {path} has {} values, skeleton counts {count}",
-                    vector.values.len()
-                )));
-            }
-            Some(_) => {}
+            &built
         }
-    }
+    };
 
     let mut walker = Walker {
         doc,
@@ -520,7 +672,7 @@ fn collect_doc(
 struct Walker<'a> {
     doc: &'a VecDoc,
     skeleton: &'a Skeleton,
-    index: PathIndex<'a>,
+    index: &'a PathIndex,
     graph: &'a QueryGraph,
     var_pat: Vec<Option<PathPattern>>,
     ref_pat: Vec<Option<PathPattern>>,
@@ -755,7 +907,7 @@ enum Sink<'b> {
 
 struct Eval<'a> {
     graph: &'a QueryGraph,
-    docs: &'a [(&'a str, &'a VecDoc)],
+    docs: &'a [DocBinding<'a>],
     var_doc: &'a [usize],
     state: &'a State,
     /// `[var][parent occ]` → candidate occurrences (empty outer Vec for
@@ -774,7 +926,7 @@ struct Eval<'a> {
 /// bound last during enumeration, per [`crate::Join::ready_at`]).
 fn build_join_indexes(
     graph: &QueryGraph,
-    docs: &[(&str, &VecDoc)],
+    docs: &[DocBinding<'_>],
     var_doc: &[usize],
     state: &State,
 ) -> HashMap<usize, HashMap<Vec<u8>, HashSet<usize>>> {
@@ -791,7 +943,7 @@ fn build_join_indexes(
             };
             out.entry(build).or_insert_with(|| {
                 let var = graph.refs[build].var;
-                let doc = docs[var_doc[var]].1;
+                let doc = docs[var_doc[var]].doc;
                 let mut index: HashMap<Vec<u8>, HashSet<usize>> = HashMap::new();
                 for occ in 0..state.occ_parent[var].len() {
                     for &(vec, idx) in state.values(build, occ) {
@@ -828,7 +980,7 @@ fn push_template_blocks<'g>(tpl: &'g Template, stack: &mut Vec<&'g Block>) {
 
 impl Eval<'_> {
     fn ref_bytes(&self, r: usize, occ: usize) -> Vec<&[u8]> {
-        let doc = self.docs[self.var_doc[self.graph.refs[r].var]].1;
+        let doc = self.docs[self.var_doc[self.graph.refs[r].var]].doc;
         self.state
             .values(r, occ)
             .iter()
@@ -959,7 +1111,7 @@ impl Eval<'_> {
             Output::Values(r) => {
                 let var = self.graph.refs[*r].var;
                 let occ = env[var];
-                let doc = self.docs[self.var_doc[var]].1;
+                let doc = self.docs[self.var_doc[var]].doc;
                 self.tally
                     .values
                     .set(self.tally.values.get() + self.state.values(*r, occ).len() as u64);
@@ -992,7 +1144,7 @@ impl Eval<'_> {
             match item {
                 TplItem::Copy(r) => {
                     let var = self.graph.refs[*r].var;
-                    let doc = self.docs[self.var_doc[var]].1;
+                    let doc = self.docs[self.var_doc[var]].doc;
                     for task in self.state.copies(*r, env[var]) {
                         let mut cursors = task.cursors.clone();
                         let mut path = task.path.clone();

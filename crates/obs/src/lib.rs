@@ -177,6 +177,165 @@ impl Default for Timer {
 }
 
 // ---------------------------------------------------------------------
+// Latency histograms
+// ---------------------------------------------------------------------
+
+/// Bucket layout: values 0–3 µs get exact buckets; above that, each
+/// power of two is split into 4 linear sub-buckets, so any recorded
+/// value lands in a bucket whose width is ≤ 1/4 of its magnitude
+/// (quantile estimates are within ~12.5 % of the true value). 64
+/// exponents × 4 sub-buckets covers the full `u64` range.
+const HIST_BUCKETS: usize = 256;
+
+/// A lock-free log-bucketed latency histogram, recorded in microseconds.
+///
+/// All methods take `&self` — recording is a single relaxed atomic add,
+/// so one `Histogram` can be shared (behind an `Arc`) by every worker
+/// thread of `vx serve` with no contention beyond cache traffic.
+/// Quantiles are estimated from a point-in-time snapshot of the bucket
+/// counts; like everything in this crate, reads must never fail or block
+/// the operation they observe.
+pub struct Histogram {
+    counts: Vec<std::sync::atomic::AtomicU64>,
+    sum_us: std::sync::atomic::AtomicU64,
+    max_us: std::sync::atomic::AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: (0..HIST_BUCKETS)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+            sum_us: std::sync::atomic::AtomicU64::new(0),
+            max_us: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us < 4 {
+            return us as usize;
+        }
+        let exp = 63 - us.leading_zeros() as usize;
+        let sub = ((us >> (exp - 2)) & 3) as usize;
+        exp * 4 + sub
+    }
+
+    /// Midpoint of bucket `i`'s value range (its exact value for the
+    /// four smallest buckets).
+    fn bucket_mid(i: usize) -> u64 {
+        if i < 4 {
+            return i as u64;
+        }
+        let exp = i / 4;
+        let sub = (i % 4) as u64;
+        let width = 1u64 << (exp - 2);
+        let lower = (4 + sub) << (exp - 2);
+        lower + width / 2
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn record_us(&self, us: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.counts[Self::bucket_of(us)].fetch_add(1, Relaxed);
+        self.sum_us.fetch_add(us, Relaxed);
+        self.max_us.fetch_max(us, Relaxed);
+    }
+
+    /// Records a duration measured in seconds (rounded to whole µs).
+    pub fn record_secs(&self, secs: f64) {
+        self.record_us((secs * 1e6).round().max(0.0) as u64);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.counts.iter().map(|c| c.load(Relaxed)).collect()
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+
+    /// Sum of all recorded values, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Largest recorded value, in microseconds (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Mean recorded value in microseconds (0.0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let counts = self.snapshot();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us() as f64 / n as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) in microseconds, from a
+    /// snapshot of the buckets. Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts = self.snapshot();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_mid(i).min(self.max_us());
+            }
+        }
+        self.max_us()
+    }
+
+    /// Median estimate in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th-percentile estimate in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Folds another histogram's observations into this one.
+    pub fn merge(&self, other: &Histogram) {
+        use std::sync::atomic::Ordering::Relaxed;
+        for (mine, theirs) in self.counts.iter().zip(other.snapshot()) {
+            mine.fetch_add(theirs, Relaxed);
+        }
+        self.sum_us.fetch_add(other.sum_us(), Relaxed);
+        self.max_us.fetch_max(other.max_us(), Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50_us", &self.p50_us())
+            .field("p99_us", &self.p99_us())
+            .field("max_us", &self.max_us())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
 // Structured event sink
 // ---------------------------------------------------------------------
 
@@ -405,6 +564,53 @@ mod tests {
             line,
             "{\"ev\":\"q\\\"uote\",\"us\":42,\"s\":\"a\\\\b\\nc\",\"n\":7,\"f\":0.5,\"nan\":null,\"ok\":true}\n"
         );
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bounded_estimates() {
+        let h = Histogram::new();
+        assert_eq!(h.p50_us(), 0);
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum_us(), 500_500);
+        assert_eq!(h.max_us(), 1000);
+        // Log-bucketed estimates: within 12.5 % of the true quantile.
+        let p50 = h.p50_us() as f64;
+        assert!((437.5..=562.5).contains(&p50), "p50 estimate {p50}");
+        let p99 = h.p99_us() as f64;
+        assert!((866.0..=1000.0).contains(&p99), "p99 estimate {p99}");
+        // Quantiles never exceed the recorded maximum.
+        assert!(h.quantile_us(1.0) <= 1000);
+
+        let tiny = Histogram::new();
+        tiny.record_us(0);
+        tiny.record_us(3);
+        assert_eq!(tiny.quantile_us(0.0), 0);
+        assert_eq!(tiny.quantile_us(1.0), 3, "small values are exact");
+    }
+
+    #[test]
+    fn histogram_concurrent_recording_and_merge() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        h.record_us(t * 100 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 800);
+
+        let other = Histogram::new();
+        other.record_us(1_000_000);
+        h.merge(&other);
+        assert_eq!(h.count(), 801);
+        assert_eq!(h.max_us(), 1_000_000);
     }
 
     #[test]

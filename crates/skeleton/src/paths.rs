@@ -19,27 +19,28 @@ use std::collections::{HashMap, HashSet};
 pub type RelPath = Vec<NameId>;
 
 /// Path analysis over one skeleton rooted at `root`.
-pub struct PathIndex<'a> {
-    skeleton: &'a Skeleton,
+///
+/// The index owns only *derived* data (per-node text layouts keyed by
+/// [`NodeId`]); it holds no reference to the skeleton it was computed
+/// from. That makes it storable next to the skeleton inside one shared
+/// immutable value (`vx-core`'s `StoreHandle`) and freely shareable
+/// across threads — methods that need to resolve names or edges take the
+/// skeleton as an explicit argument instead.
+pub struct PathIndex {
     root: NodeId,
     /// node -> (relative path from node's *children* downward, text count).
     /// The node's own name is *not* part of the key paths.
     below: HashMap<NodeId, Vec<(RelPath, u64)>>,
 }
 
-impl<'a> PathIndex<'a> {
-    pub fn new(skeleton: &'a Skeleton, root: NodeId) -> Self {
+impl PathIndex {
+    pub fn new(skeleton: &Skeleton, root: NodeId) -> Self {
         let mut index = PathIndex {
-            skeleton,
             root,
             below: HashMap::new(),
         };
-        index.compute_below(root);
+        index.compute_below(skeleton, root);
         index
-    }
-
-    pub fn skeleton(&self) -> &Skeleton {
-        self.skeleton
     }
 
     pub fn root(&self) -> NodeId {
@@ -49,9 +50,9 @@ impl<'a> PathIndex<'a> {
     /// Memoized: for each downward path from `node` (excluding `node`'s own
     /// name) that ends in text, the number of text occurrences, runs
     /// multiplied out. The empty path means `node` itself is `#`.
-    fn compute_below(&mut self, node: NodeId) -> &Vec<(RelPath, u64)> {
+    fn compute_below(&mut self, skeleton: &Skeleton, node: NodeId) -> &Vec<(RelPath, u64)> {
         if !self.below.contains_key(&node) {
-            let data = self.skeleton.node(node);
+            let data = skeleton.node(node);
             let mut acc: Vec<(RelPath, u64)> = Vec::new();
             let mut seen: HashMap<RelPath, usize> = HashMap::new();
             if data.name.is_none() {
@@ -59,8 +60,8 @@ impl<'a> PathIndex<'a> {
             } else {
                 let edges = data.edges.clone();
                 for edge in edges {
-                    let child_name = self.skeleton.node(edge.child).name;
-                    let child_paths = self.compute_below(edge.child).clone();
+                    let child_name = skeleton.node(edge.child).name;
+                    let child_paths = self.compute_below(skeleton, edge.child).clone();
                     for (rel, count) in child_paths {
                         let mut path = Vec::with_capacity(rel.len() + 1);
                         if let Some(n) = child_name {
@@ -86,8 +87,8 @@ impl<'a> PathIndex<'a> {
     /// All root-to-text tag paths with their occurrence counts, ordered by
     /// first occurrence in document order (the catalog order). Each path
     /// includes the root's own tag.
-    pub fn text_paths(&self) -> Vec<(RelPath, u64)> {
-        let root_name = self.skeleton.node(self.root).name;
+    pub fn text_paths(&self, skeleton: &Skeleton) -> Vec<(RelPath, u64)> {
+        let root_name = skeleton.node(self.root).name;
         let mut counts: HashMap<RelPath, u64> = HashMap::new();
         for (rel, count) in &self.below[&self.root] {
             let mut path = Vec::with_capacity(rel.len() + 1);
@@ -97,7 +98,7 @@ impl<'a> PathIndex<'a> {
             path.extend_from_slice(rel);
             *counts.entry(path).or_insert(0) += *count;
         }
-        let order = self.first_occurrence_order();
+        let order = self.first_occurrence_order(skeleton);
         let mut out = Vec::new();
         for path in order {
             if let Some(count) = counts.remove(&path) {
@@ -109,7 +110,7 @@ impl<'a> PathIndex<'a> {
     }
 
     /// Document-order first occurrence of each complete text path.
-    fn first_occurrence_order(&self) -> Vec<RelPath> {
+    fn first_occurrence_order(&self, skeleton: &Skeleton) -> Vec<RelPath> {
         // DFS over (node, prefix) pairs, memoized per pair, children in
         // edge order. Runs never change first-occurrence order.
         let mut order: Vec<RelPath> = Vec::new();
@@ -118,7 +119,7 @@ impl<'a> PathIndex<'a> {
         let mut stack: Vec<(NodeId, RelPath)> = vec![(self.root, Vec::new())];
         // Explicit stack in reverse order to get document order.
         while let Some((node, prefix)) = stack.pop() {
-            let data = self.skeleton.node(node);
+            let data = skeleton.node(node);
             let mut path = prefix.clone();
             if let Some(n) = data.name {
                 path.push(n);
@@ -164,27 +165,27 @@ impl<'a> PathIndex<'a> {
 
     /// Number of occurrences of the element path `path` (starting with the
     /// root's tag). The root path itself has one occurrence.
-    pub fn occurrences(&self, path: &[NameId]) -> u64 {
-        let root_name = self.skeleton.node(self.root).name;
+    pub fn occurrences(&self, skeleton: &Skeleton, path: &[NameId]) -> u64 {
+        let root_name = skeleton.node(self.root).name;
         match path.split_first() {
             None => 0,
             Some((&first, rest)) => {
                 if root_name != Some(first) {
                     return 0;
                 }
-                self.count_occurrences(self.root, rest)
+                self.count_occurrences(skeleton, self.root, rest)
             }
         }
     }
 
-    fn count_occurrences(&self, node: NodeId, rest: &[NameId]) -> u64 {
+    fn count_occurrences(&self, skeleton: &Skeleton, node: NodeId, rest: &[NameId]) -> u64 {
         match rest.split_first() {
             None => 1,
             Some((&next, tail)) => {
                 let mut total = 0;
-                for edge in &self.skeleton.node(node).edges {
-                    if self.skeleton.node(edge.child).name == Some(next) {
-                        total += edge.run * self.count_occurrences(edge.child, tail);
+                for edge in &skeleton.node(node).edges {
+                    if skeleton.node(edge.child).name == Some(next) {
+                        total += edge.run * self.count_occurrences(skeleton, edge.child, tail);
                     }
                 }
                 total
@@ -196,12 +197,17 @@ impl<'a> PathIndex<'a> {
     /// number of `rel`-path texts below it. Prefix-summing the result gives
     /// each occurrence's contiguous range in the `binding_path + rel`
     /// vector. `binding_path` starts with the root tag.
-    pub fn binding_text_counts(&self, binding_path: &[NameId], rel: &[NameId]) -> Vec<u64> {
+    pub fn binding_text_counts(
+        &self,
+        skeleton: &Skeleton,
+        binding_path: &[NameId],
+        rel: &[NameId],
+    ) -> Vec<u64> {
         let mut out = Vec::new();
-        let root_name = self.skeleton.node(self.root).name;
+        let root_name = skeleton.node(self.root).name;
         if let Some((&first, rest)) = binding_path.split_first() {
             if root_name == Some(first) {
-                self.collect_binding_counts(self.root, rest, rel, 1, &mut out);
+                self.collect_binding_counts(skeleton, self.root, rest, rel, 1, &mut out);
             }
         }
         out
@@ -209,6 +215,7 @@ impl<'a> PathIndex<'a> {
 
     fn collect_binding_counts(
         &self,
+        skeleton: &Skeleton,
         node: NodeId,
         rest: &[NameId],
         rel: &[NameId],
@@ -223,9 +230,9 @@ impl<'a> PathIndex<'a> {
                 }
             }
             Some((&next, tail)) => {
-                for edge in &self.skeleton.node(node).edges {
-                    if self.skeleton.node(edge.child).name == Some(next) {
-                        self.collect_binding_counts(edge.child, tail, rel, edge.run, out);
+                for edge in &skeleton.node(node).edges {
+                    if skeleton.node(edge.child).name == Some(next) {
+                        self.collect_binding_counts(skeleton, edge.child, tail, rel, edge.run, out);
                     }
                 }
             }
@@ -235,13 +242,18 @@ impl<'a> PathIndex<'a> {
     /// Per-occurrence *element* counts: for each occurrence of
     /// `binding_path` (document order), the number of `rel`-path element
     /// occurrences below it (`rel` empty counts the occurrence itself).
-    pub fn binding_element_counts(&self, binding_path: &[NameId], rel: &[NameId]) -> Vec<u64> {
+    pub fn binding_element_counts(
+        &self,
+        skeleton: &Skeleton,
+        binding_path: &[NameId],
+        rel: &[NameId],
+    ) -> Vec<u64> {
         let mut out = Vec::new();
-        let root_name = self.skeleton.node(self.root).name;
+        let root_name = skeleton.node(self.root).name;
         let mut memo = HashMap::new();
         if let Some((&first, rest)) = binding_path.split_first() {
             if root_name == Some(first) {
-                self.walk_element_counts(self.root, rest, rel, 1, &mut memo, &mut out);
+                self.walk_element_counts(skeleton, self.root, rest, rel, 1, &mut memo, &mut out);
             }
         }
         out
@@ -249,6 +261,7 @@ impl<'a> PathIndex<'a> {
 
     fn count_elements(
         &self,
+        skeleton: &Skeleton,
         node: NodeId,
         rel: &[NameId],
         memo: &mut HashMap<(NodeId, Vec<NameId>), u64>,
@@ -261,9 +274,9 @@ impl<'a> PathIndex<'a> {
                     return v;
                 }
                 let mut total = 0;
-                for edge in &self.skeleton.node(node).edges {
-                    if self.skeleton.node(edge.child).name == Some(next) {
-                        total += edge.run * self.count_elements(edge.child, tail, memo);
+                for edge in &skeleton.node(node).edges {
+                    if skeleton.node(edge.child).name == Some(next) {
+                        total += edge.run * self.count_elements(skeleton, edge.child, tail, memo);
                     }
                 }
                 memo.insert(key, total);
@@ -272,8 +285,10 @@ impl<'a> PathIndex<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn walk_element_counts(
         &self,
+        skeleton: &Skeleton,
         node: NodeId,
         rest: &[NameId],
         rel: &[NameId],
@@ -283,15 +298,17 @@ impl<'a> PathIndex<'a> {
     ) {
         match rest.split_first() {
             None => {
-                let c = self.count_elements(node, rel, memo);
+                let c = self.count_elements(skeleton, node, rel, memo);
                 for _ in 0..repeat {
                     out.push(c);
                 }
             }
             Some((&next, tail)) => {
-                for edge in &self.skeleton.node(node).edges {
-                    if self.skeleton.node(edge.child).name == Some(next) {
-                        self.walk_element_counts(edge.child, tail, rel, edge.run, memo, out);
+                for edge in &skeleton.node(node).edges {
+                    if skeleton.node(edge.child).name == Some(next) {
+                        self.walk_element_counts(
+                            skeleton, edge.child, tail, rel, edge.run, memo, out,
+                        );
                     }
                 }
             }
@@ -303,21 +320,22 @@ impl<'a> PathIndex<'a> {
     /// that occur in this document, in first-occurrence document order.
     /// The paper resolves `*` and `//` against the structure summary, not
     /// the data; this is that resolution over the hash-consed skeleton.
-    pub fn expand_pattern(&self, pattern: &PathPattern) -> Vec<RelPath> {
+    pub fn expand_pattern(&self, skeleton: &Skeleton, pattern: &PathPattern) -> Vec<RelPath> {
         let mut out = Vec::new();
         let mut seen: HashSet<RelPath> = HashSet::new();
-        let root_name = match self.skeleton.node(self.root).name {
+        let root_name = match skeleton.node(self.root).name {
             Some(n) => n,
             None => return out,
         };
         // The pattern's first step must match the root element.
-        let states = pattern.advance(PathPattern::START, root_name, self.skeleton.name(root_name));
+        let states = pattern.advance(PathPattern::START, root_name, skeleton.name(root_name));
         if states == 0 {
             return out;
         }
         let mut prefix = vec![root_name];
         let mut visited: HashSet<(NodeId, u64, RelPath)> = HashSet::new();
         self.expand_walk(
+            skeleton,
             self.root,
             pattern,
             states,
@@ -332,6 +350,7 @@ impl<'a> PathIndex<'a> {
     #[allow(clippy::too_many_arguments)]
     fn expand_walk(
         &self,
+        skeleton: &Skeleton,
         node: NodeId,
         pattern: &PathPattern,
         states: u64,
@@ -343,19 +362,21 @@ impl<'a> PathIndex<'a> {
         if pattern.accepts(states) && seen.insert(prefix.clone()) {
             out.push(prefix.clone());
         }
-        for edge in &self.skeleton.node(node).edges {
-            let child = self.skeleton.node(edge.child);
+        for edge in &skeleton.node(node).edges {
+            let child = skeleton.node(edge.child);
             let name = match child.name {
                 Some(n) => n,
                 None => continue,
             };
-            let next = pattern.advance(states, name, self.skeleton.name(name));
+            let next = pattern.advance(states, name, skeleton.name(name));
             if next == 0 {
                 continue;
             }
             prefix.push(name);
             if visited.insert((edge.child, next, prefix.clone())) {
-                self.expand_walk(edge.child, pattern, next, prefix, seen, visited, out);
+                self.expand_walk(
+                    skeleton, edge.child, pattern, next, prefix, seen, visited, out,
+                );
             }
             prefix.pop();
         }
@@ -365,7 +386,7 @@ impl<'a> PathIndex<'a> {
     /// root, the set of tag names occurring strictly below it. One shared
     /// computation for the whole DAG (unlike [`PathIndex::containment`],
     /// which answers for a single node).
-    pub fn reachable_names(&self) -> HashMap<NodeId, HashSet<NameId>> {
+    pub fn reachable_names(&self, skeleton: &Skeleton) -> HashMap<NodeId, HashSet<NameId>> {
         let mut memo: HashMap<NodeId, HashSet<NameId>> = HashMap::new();
         fn go(
             s: &Skeleton,
@@ -385,13 +406,13 @@ impl<'a> PathIndex<'a> {
             memo.insert(node, tags.clone());
             tags
         }
-        go(self.skeleton, self.root, &mut memo);
+        go(skeleton, self.root, &mut memo);
         memo
     }
 
     /// Containment map: the set of tag names reachable strictly below
     /// `node`. Used by the engine to prune impossible paths early.
-    pub fn containment(&self, node: NodeId) -> Vec<NameId> {
+    pub fn containment(&self, skeleton: &Skeleton, node: NodeId) -> Vec<NameId> {
         let mut memo: HashMap<NodeId, Vec<NameId>> = HashMap::new();
         fn go(s: &Skeleton, node: NodeId, memo: &mut HashMap<NodeId, Vec<NameId>>) -> Vec<NameId> {
             if let Some(v) = memo.get(&node) {
@@ -409,7 +430,7 @@ impl<'a> PathIndex<'a> {
             memo.insert(node, tags.clone());
             tags
         }
-        go(self.skeleton, node, &mut memo)
+        go(skeleton, node, &mut memo)
     }
 }
 
@@ -555,7 +576,7 @@ mod tests {
         let (s, root, names) = sample();
         let index = PathIndex::new(&s, root);
         let (lib, book, title, author, note) = (names[0], names[1], names[2], names[3], names[4]);
-        let paths = index.text_paths();
+        let paths = index.text_paths(&s);
         assert_eq!(
             paths,
             vec![
@@ -571,13 +592,16 @@ mod tests {
         let (s, root, names) = sample();
         let index = PathIndex::new(&s, root);
         let (lib, book, author) = (names[0], names[1], names[3]);
-        assert_eq!(index.occurrences(&[lib]), 1);
-        assert_eq!(index.occurrences(&[lib, book]), 2);
+        assert_eq!(index.occurrences(&s, &[lib]), 1);
+        assert_eq!(index.occurrences(&s, &[lib, book]), 2);
         assert_eq!(
-            index.binding_text_counts(&[lib, book], &[author]),
+            index.binding_text_counts(&s, &[lib, book], &[author]),
             vec![2, 2]
         );
-        assert_eq!(index.binding_text_counts(&[lib], &[book, author]), vec![4]);
+        assert_eq!(
+            index.binding_text_counts(&s, &[lib], &[book, author]),
+            vec![4]
+        );
     }
 
     fn pat(skeleton: &Skeleton, spec: &[(bool, Option<&str>)]) -> PathPattern {
@@ -604,18 +628,18 @@ mod tests {
         // lib/* — every child tag of the root.
         let p = pat(&s, &[(false, Some("lib")), (false, None)]);
         assert_eq!(
-            index.expand_pattern(&p),
+            index.expand_pattern(&s, &p),
             vec![vec![lib, book], vec![lib, note]]
         );
 
         // //author — authors anywhere.
         let p = pat(&s, &[(true, Some("author"))]);
-        assert_eq!(index.expand_pattern(&p), vec![vec![lib, book, author]]);
+        assert_eq!(index.expand_pattern(&s, &p), vec![vec![lib, book, author]]);
 
         // lib//* — all strict descendants of the root.
         let p = pat(&s, &[(false, Some("lib")), (true, None)]);
         assert_eq!(
-            index.expand_pattern(&p),
+            index.expand_pattern(&s, &p),
             vec![
                 vec![lib, book],
                 vec![lib, book, title],
@@ -626,7 +650,7 @@ mod tests {
 
         // A tag absent from the document expands to nothing.
         let p = pat(&s, &[(true, Some("absent-tag"))]);
-        assert_eq!(index.expand_pattern(&p), Vec::<RelPath>::new());
+        assert_eq!(index.expand_pattern(&s, &p), Vec::<RelPath>::new());
     }
 
     #[test]
@@ -647,17 +671,20 @@ mod tests {
         let index = PathIndex::new(&s, root);
         let (lib, book, author) = (names[0], names[1], names[3]);
         assert_eq!(
-            index.binding_element_counts(&[lib, book], &[author]),
+            index.binding_element_counts(&s, &[lib, book], &[author]),
             vec![2, 2]
         );
-        assert_eq!(index.binding_element_counts(&[lib, book], &[]), vec![1, 1]);
+        assert_eq!(
+            index.binding_element_counts(&s, &[lib, book], &[]),
+            vec![1, 1]
+        );
     }
 
     #[test]
     fn reachable_names_cover_the_dag() {
         let (s, root, names) = sample();
         let index = PathIndex::new(&s, root);
-        let map = index.reachable_names();
+        let map = index.reachable_names(&s);
         let below_root = &map[&root];
         assert!(below_root.contains(&names[1]));
         assert!(below_root.contains(&names[3]));
@@ -668,7 +695,7 @@ mod tests {
     fn containment_lists_reachable_tags() {
         let (s, root, names) = sample();
         let index = PathIndex::new(&s, root);
-        let tags = index.containment(root);
+        let tags = index.containment(&s, root);
         assert!(tags.contains(&names[1]));
         assert!(tags.contains(&names[3]));
         assert!(!tags.contains(&names[0])); // root tag not strictly below

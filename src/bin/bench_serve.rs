@@ -1,0 +1,543 @@
+//! `bench_serve` — closed-loop load harness for `vx serve`, plus the
+//! parallel-vs-serial reduce differential, emitted as `BENCH_serve.json`.
+//!
+//! ```text
+//! bench_serve [--xk N] [--tb N] [--ml N] [--ss N] [--clients C]
+//!             [--requests R] [--threads T] [--iters K] [--out FILE]
+//! ```
+//!
+//! Two sections:
+//!
+//! 1. **serve** — the four bench corpora are ingested into on-disk
+//!    stores, a real [`xmlvec::serve::Server`] is started on a loopback
+//!    port, and `C` closed-loop client threads each issue `R` rounds of
+//!    the 13-query table3 workload over keep-alive connections (with
+//!    `/stats`, `/metrics` and `/healthz` probes mixed in). Latency is
+//!    measured twice: client-side wall time per request, and the
+//!    server's own per-endpoint histograms scraped from `/metrics`.
+//! 2. **reduce** — for each corpus at the configured scale, a
+//!    two-document join (the corpus paired with a copy of itself under
+//!    a second name) is evaluated with the scoped-thread per-document
+//!    collection fan-out and serially; outputs must be byte-identical
+//!    and both times are reported.
+//!
+//! Scales default from `BenchScales::DEFAULT`, overridable by the
+//! `VX_BENCH_XK`/`VX_BENCH_TB`/`VX_BENCH_ML`/`VX_BENCH_SS` environment
+//! and then flags; `VX_BENCH_CLIENTS`, `VX_BENCH_REQUESTS` and
+//! `VX_BENCH_ITERS` seed the load-shape knobs the same way, so CI can
+//! run the whole harness at tiny scale without touching flags.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::time::Instant;
+
+use xmlvec::bench::{build_corpus_store, corpus, BenchScales, DATASETS};
+use xmlvec::core::json::{to_string_pretty, Json};
+use xmlvec::core::{vectorize, StoreHandle};
+use xmlvec::engine::Query;
+use xmlvec::obs::Histogram;
+use xmlvec::serve::Server;
+
+struct Config {
+    scales: BenchScales,
+    clients: usize,
+    requests: usize,
+    threads: usize,
+    iters: u32,
+    out: PathBuf,
+}
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        scales: BenchScales::from_env(),
+        clients: env_num("VX_BENCH_CLIENTS", 8),
+        requests: env_num("VX_BENCH_REQUESTS", 25),
+        threads: env_num("VX_BENCH_THREADS", 4),
+        iters: env_num("VX_BENCH_ITERS", 3),
+        out: PathBuf::from("BENCH_serve.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("bench_serve: {flag} needs a value");
+                exit(2);
+            })
+        };
+        let parse_num = |flag: &str, v: String| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bench_serve: bad {flag} value `{v}`");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--xk" => config.scales.xk_items = parse_num("--xk", value("--xk")),
+            "--tb" => config.scales.tb_sentences = parse_num("--tb", value("--tb")),
+            "--ml" => config.scales.ml_citations = parse_num("--ml", value("--ml")),
+            "--ss" => config.scales.ss_rows = parse_num("--ss", value("--ss")),
+            "--clients" => config.clients = parse_num("--clients", value("--clients")),
+            "--requests" => config.requests = parse_num("--requests", value("--requests")),
+            "--threads" => config.threads = parse_num("--threads", value("--threads")),
+            "--iters" => config.iters = parse_num("--iters", value("--iters")) as u32,
+            "--out" => config.out = PathBuf::from(value("--out")),
+            other => {
+                eprintln!("bench_serve: unknown flag `{other}`");
+                eprintln!(
+                    "usage: bench_serve [--xk N] [--tb N] [--ml N] [--ss N] [--clients C] \
+                     [--requests R] [--threads T] [--iters K] [--out FILE]"
+                );
+                exit(2);
+            }
+        }
+    }
+    config.clients = config.clients.max(1);
+    config.requests = config.requests.max(1);
+    config.threads = config.threads.max(1);
+    config.iters = config.iters.max(1);
+    config
+}
+
+// ---------------------------------------------------------------------
+// A minimal keep-alive HTTP/1.1 client
+// ---------------------------------------------------------------------
+
+/// One persistent connection; reconnects transparently if the server
+/// side closed it (e.g. after a `connection: close` answer).
+struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    fn new(addr: SocketAddr) -> Client {
+        Client { addr, stream: None }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        // One transparent retry: a keep-alive socket the server has
+        // since closed surfaces as an error on the first write or read.
+        for attempt in 0..2 {
+            if self.stream.is_none() {
+                let stream = TcpStream::connect(self.addr).unwrap_or_else(|e| {
+                    eprintln!("bench_serve: connect {}: {e}", self.addr);
+                    exit(1);
+                });
+                // Without this, the two-packet request (head + body)
+                // collides with delayed ACKs and every query measures
+                // the ~40ms Nagle stall instead of the server.
+                let _ = stream.set_nodelay(true);
+                self.stream = Some(stream);
+            }
+            match self.try_request(method, path, body) {
+                Ok(answer) => return answer,
+                Err(e) => {
+                    self.stream = None;
+                    if attempt == 1 {
+                        eprintln!("bench_serve: {method} {path}: {e}");
+                        exit(1);
+                    }
+                }
+            }
+        }
+        unreachable!("request loop returns or exits");
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let stream = self.stream.as_mut().expect("connected");
+        let mut request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: vx\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        request.extend_from_slice(body.as_bytes());
+        stream.write_all(&request)?;
+        stream.flush()?;
+        read_response(stream)
+    }
+}
+
+/// Reads exactly one response (headers + content-length body), leaving
+/// the stream at the next keep-alive boundary.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let mut bytes = Vec::new();
+    let mut buffer = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut buffer)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-response"));
+        }
+        bytes.extend_from_slice(&buffer[..n]);
+    };
+    let headers = String::from_utf8_lossy(&bytes[..header_end]).into_owned();
+    let status: u16 = headers
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let content_length: usize = headers
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .ok_or_else(|| bad("missing content-length"))?;
+    while bytes.len() < header_end + content_length {
+        let n = stream.read(&mut buffer)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        bytes.extend_from_slice(&buffer[..n]);
+    }
+    let body =
+        String::from_utf8_lossy(&bytes[header_end..header_end + content_length]).into_owned();
+    Ok((status, body))
+}
+
+// ---------------------------------------------------------------------
+// Sections
+// ---------------------------------------------------------------------
+
+struct ClientSide {
+    query: Histogram,
+    stats: Histogram,
+    metrics: Histogram,
+    healthz: Histogram,
+}
+
+/// Runs the closed-loop load phase; returns the client-side histograms
+/// and the final `/metrics` document scraped from the server.
+fn load_phase(config: &Config, addr: SocketAddr) -> (ClientSide, Json) {
+    let specs = xmlvec::data::workload();
+    let bodies: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            to_string_pretty(&Json::Object(vec![
+                ("store".into(), Json::Str(spec.dataset.into())),
+                ("query".into(), Json::Str(spec.xq.into())),
+            ]))
+        })
+        .collect();
+
+    // Warm-up: compile every workload query into the server's cache and
+    // fail fast if any of them is rejected.
+    let mut warm = Client::new(addr);
+    for (spec, body) in specs.iter().zip(&bodies) {
+        let (status, answer) = warm.request("POST", "/query", body);
+        if status != 200 {
+            eprintln!(
+                "bench_serve: warm-up {} failed ({status}): {answer}",
+                spec.name
+            );
+            exit(1);
+        }
+    }
+
+    let side = ClientSide {
+        query: Histogram::new(),
+        stats: Histogram::new(),
+        metrics: Histogram::new(),
+        healthz: Histogram::new(),
+    };
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_idx in 0..config.clients {
+            let side = &side;
+            let bodies = &bodies;
+            scope.spawn(move || {
+                let mut client = Client::new(addr);
+                let mut timed = |hist: &Histogram, method: &str, path: &str, body: &str| {
+                    let start = Instant::now();
+                    let (status, answer) = client.request(method, path, body);
+                    hist.record_secs(start.elapsed().as_secs_f64());
+                    if status != 200 {
+                        eprintln!("bench_serve: {method} {path} -> {status}: {answer}");
+                        exit(1);
+                    }
+                };
+                for round in 0..config.requests {
+                    let body = &bodies[(client_idx + round) % bodies.len()];
+                    timed(&side.query, "POST", "/query", body);
+                    // Light observability traffic mixed into the loop:
+                    // one probe every fourth round, rotating endpoints.
+                    if round % 4 == 3 {
+                        match (client_idx + round / 4) % 3 {
+                            0 => timed(&side.stats, "GET", "/stats", ""),
+                            1 => timed(&side.metrics, "GET", "/metrics", ""),
+                            _ => timed(&side.healthz, "GET", "/healthz", ""),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let total =
+        side.query.count() + side.stats.count() + side.metrics.count() + side.healthz.count();
+    println!(
+        "load: {} clients x {} rounds -> {} requests in {elapsed:.2}s ({:.0} req/s)",
+        config.clients,
+        config.requests,
+        total,
+        total as f64 / elapsed
+    );
+
+    let (status, metrics) = warm.request("GET", "/metrics", "");
+    if status != 200 {
+        eprintln!("bench_serve: final /metrics scrape failed ({status})");
+        exit(1);
+    }
+    let scraped = xmlvec::core::json::parse(&metrics).unwrap_or_else(|e| {
+        eprintln!("bench_serve: /metrics is not JSON: {e}");
+        exit(1);
+    });
+    (side, scraped)
+}
+
+/// The per-dataset two-document join: the same corpus under the names
+/// `a` and `b`, so the collection phase has two documents to fan out
+/// over while the join itself mirrors a table3 workload query.
+fn join_query(dataset: &str) -> &'static str {
+    match dataset {
+        "xk" => {
+            r#"for $p in doc("a")/site/people/person,
+                   $q in doc("b")/site/people/person
+               where $p/@id = $q/@id
+               return $p/name"#
+        }
+        "tb" => {
+            r#"for $a in doc("a")//NP, $b in doc("b")//PP
+               where $a/NN = $b/NP/NN
+               return $a/NN"#
+        }
+        "ml" => {
+            r#"for $a in doc("a")//MedlineCitation,
+                   $b in doc("b")//MedlineCitation
+               where $a/Language = "FRE"
+                 and $a/PubData/Year = $b/PubData/Year
+               return $b/PMID"#
+        }
+        "ss" => {
+            r#"for $a in doc("a")//PhotoObj, $b in doc("b")//PhotoObj
+               where $a/objID = $b/objID
+               return $b/ra"#
+        }
+        other => {
+            eprintln!("bench_serve: no join query for dataset `{other}`");
+            exit(1);
+        }
+    }
+}
+
+fn canon(output: &xmlvec::QueryOutput) -> Vec<u8> {
+    match output {
+        xmlvec::QueryOutput::Values(values) => {
+            let mut bytes = Vec::new();
+            for value in values {
+                bytes.extend_from_slice(value);
+                bytes.push(b'\n');
+            }
+            bytes
+        }
+        xmlvec::QueryOutput::Document(_) => output
+            .to_xml()
+            .expect("constructor output serializes")
+            .into_bytes(),
+    }
+}
+
+/// Times the parallel per-document collection against the serial walk
+/// for every corpus; best-of-`iters` per mode, byte-identical outputs.
+/// `VX_PARALLEL=force` pins the fan-out on so the mechanism is really
+/// measured — the engine's auto gate would silently fall back to the
+/// serial walk on a single-core host (the report records the host's
+/// parallelism so a ~1x speedup there is explained, not alarming).
+fn reduce_phase(config: &Config) -> Vec<Json> {
+    std::env::set_var("VX_PARALLEL", "force");
+    let mut rows = Vec::new();
+    for dataset in DATASETS {
+        let records = config.scales.records(dataset);
+        let doc = corpus(dataset, records);
+        let vec_doc = vectorize(&doc).unwrap_or_else(|e| {
+            eprintln!("bench_serve: vectorizing {dataset}: {e}");
+            exit(1);
+        });
+        let handles = vec![
+            StoreHandle::from_doc("a", vec_doc.clone()).expect("handle a"),
+            StoreHandle::from_doc("b", vec_doc).expect("handle b"),
+        ];
+        let query = Query::new(join_query(dataset)).expect("join query compiles");
+
+        let time_best = |serial: bool| -> (f64, Vec<u8>) {
+            let mut best = f64::INFINITY;
+            let mut bytes = Vec::new();
+            for _ in 0..config.iters {
+                let start = Instant::now();
+                let output = if serial {
+                    query.run_handles_serial(&handles)
+                } else {
+                    query.run_handles(&handles)
+                }
+                .unwrap_or_else(|e| {
+                    eprintln!("bench_serve: {dataset} join: {e}");
+                    exit(1);
+                });
+                best = best.min(start.elapsed().as_secs_f64());
+                bytes = canon(&output);
+            }
+            (best, bytes)
+        };
+        let (serial_secs, serial_bytes) = time_best(true);
+        let (parallel_secs, parallel_bytes) = time_best(false);
+        if serial_bytes != parallel_bytes {
+            eprintln!("bench_serve: {dataset}: parallel output diverged from serial");
+            exit(1);
+        }
+        let cardinality = serial_bytes.iter().filter(|&&b| b == b'\n').count();
+        let speedup = serial_secs / parallel_secs;
+        println!(
+            "reduce {dataset:>2}: {records:>6} records  serial {:>8.2}ms  parallel {:>8.2}ms  x{speedup:.2}",
+            serial_secs * 1e3,
+            parallel_secs * 1e3,
+        );
+        rows.push(Json::Object(vec![
+            ("dataset".into(), Json::Str(dataset.into())),
+            ("records".into(), Json::Num(records as f64)),
+            ("cardinality".into(), Json::Num(cardinality as f64)),
+            ("serial_secs".into(), Json::Num(serial_secs)),
+            ("parallel_secs".into(), Json::Num(parallel_secs)),
+            ("speedup".into(), Json::Num(speedup)),
+        ]));
+    }
+    rows
+}
+
+fn histogram_row(hist: &Histogram) -> Json {
+    Json::Object(vec![
+        ("count".into(), Json::Num(hist.count() as f64)),
+        ("p50_us".into(), Json::Num(hist.p50_us() as f64)),
+        ("p99_us".into(), Json::Num(hist.p99_us() as f64)),
+        ("mean_us".into(), Json::Num(hist.mean_us().round())),
+        ("max_us".into(), Json::Num(hist.max_us() as f64)),
+    ])
+}
+
+fn main() {
+    let config = parse_args();
+    let scratch = std::env::temp_dir().join(format!("vx-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut store_rows = Vec::new();
+    for dataset in DATASETS {
+        let records = config.scales.records(dataset);
+        let build =
+            build_corpus_store(&scratch.join(dataset), dataset, records).unwrap_or_else(|e| {
+                eprintln!("bench_serve: building {dataset}: {e}");
+                exit(1);
+            });
+        println!(
+            "built {dataset:>2}: {:>8} records, {:>9.2} MB in {:.2}s",
+            records,
+            build.input_bytes as f64 / 1e6,
+            build.ingest_secs
+        );
+        store_rows.push(Json::Object(vec![
+            ("dataset".into(), Json::Str(dataset.into())),
+            ("records".into(), Json::Num(records as f64)),
+            ("input_bytes".into(), Json::Num(build.input_bytes as f64)),
+            ("ingest_secs".into(), Json::Num(build.ingest_secs)),
+        ]));
+    }
+
+    let dirs: Vec<PathBuf> = DATASETS.iter().map(|d| scratch.join(d)).collect();
+    let dir_refs: Vec<&Path> = dirs.iter().map(PathBuf::as_path).collect();
+    let server = Server::bind(&dir_refs, "127.0.0.1:0", config.threads).unwrap_or_else(|e| {
+        eprintln!("bench_serve: bind: {e}");
+        exit(1);
+    });
+    let addr = server.local_addr();
+    let worker = std::thread::spawn(move || server.run());
+    println!(
+        "serving {} stores on {addr} with {} worker threads",
+        DATASETS.len(),
+        config.threads
+    );
+
+    let (side, scraped_metrics) = load_phase(&config, addr);
+
+    let mut stop = Client::new(addr);
+    let (status, _) = stop.request("POST", "/shutdown", "");
+    if status != 200 {
+        eprintln!("bench_serve: shutdown answered {status}");
+        exit(1);
+    }
+    match worker.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            eprintln!("bench_serve: server loop: {e}");
+            exit(1);
+        }
+        Err(_) => {
+            eprintln!("bench_serve: server thread panicked");
+            exit(1);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let reduce_rows = reduce_phase(&config);
+
+    let client_side = Json::Object(vec![
+        ("query".into(), histogram_row(&side.query)),
+        ("stats".into(), histogram_row(&side.stats)),
+        ("metrics".into(), histogram_row(&side.metrics)),
+        ("healthz".into(), histogram_row(&side.healthz)),
+    ]);
+    let report = Json::Object(vec![
+        ("bench".into(), Json::Str("serve".into())),
+        ("seed".into(), Json::Num(42.0)),
+        (
+            "default_scale".into(),
+            Json::Bool(config.scales.is_default()),
+        ),
+        ("clients".into(), Json::Num(config.clients as f64)),
+        (
+            "requests_per_client".into(),
+            Json::Num(config.requests as f64),
+        ),
+        ("server_threads".into(), Json::Num(config.threads as f64)),
+        ("iters".into(), Json::Num(f64::from(config.iters))),
+        (
+            "host_parallelism".into(),
+            Json::Num(
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as f64,
+            ),
+        ),
+        ("stores".into(), Json::Array(store_rows)),
+        ("client_latency".into(), client_side),
+        ("server_metrics".into(), scraped_metrics),
+        ("reduce".into(), Json::Array(reduce_rows)),
+    ]);
+    if let Err(e) = std::fs::write(&config.out, to_string_pretty(&report)) {
+        eprintln!("bench_serve: writing {}: {e}", config.out.display());
+        exit(1);
+    }
+    println!("wrote {}", config.out.display());
+}

@@ -5,6 +5,7 @@
 //! vx stats <store-dir>
 //! vx query <store-dir> <xquery> [--out values|xml]
 //! vx reconstruct <store-dir> [--out <file>]
+//! vx serve <store-dir>... [--addr HOST:PORT] [--threads N]
 //! ```
 //!
 //! `ingest` builds a store from an XML file, by default through the
@@ -15,7 +16,9 @@
 //! decode and agree with the catalog). `query` compiles an XQ query and
 //! reduces it against the store's `VEC(T)`; `reconstruct` regenerates
 //! the original document text (byte-identical to the compact writer's
-//! serialization of the ingested XML).
+//! serialization of the ingested XML). `serve` opens each store once
+//! into a shared [`xmlvec::core::StoreHandle`] and answers HTTP/1.1 +
+//! JSON queries from a worker-thread pool (see `xmlvec::serve`).
 //!
 //! Exit codes are part of the interface and pinned by `tests/cli.rs`:
 //! `0` success, `1` operational failure (missing or damaged store, query
@@ -26,7 +29,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use xmlvec::bench::StoreSizes;
-use xmlvec::core::{Catalog, Compaction, IngestOptions, Store, VecDoc};
+use xmlvec::core::{Compaction, IngestOptions, Store, StoreHandle, VecDoc};
 use xmlvec::{Query, QueryOutput};
 
 const USAGE: &str = "usage:
@@ -34,6 +37,7 @@ const USAGE: &str = "usage:
   vx stats <store-dir> [--metrics]
   vx query <store-dir> <xquery> [--out values|xml] [--profile | --profile-json]
   vx reconstruct <store-dir> [--out <file>]
+  vx serve <store-dir>... [--addr HOST:PORT] [--threads N]
 
 ingest options:
   --auto       per-vector dictionary compaction when smaller (default: plain)
@@ -53,7 +57,11 @@ query options:
   --profile-json same, as a JSON object
 
 reconstruct options:
-  --out FILE   write the XML to FILE instead of stdout";
+  --out FILE   write the XML to FILE instead of stdout
+
+serve options:
+  --addr HOST:PORT  listen address (default 127.0.0.1:8080; port 0 picks a free port)
+  --threads N       worker threads (default: available parallelism, capped at 8)";
 
 /// Operational failure: the command was well-formed but could not be
 /// carried out (missing store, damaged file, bad query, I/O error).
@@ -93,6 +101,7 @@ fn main() {
         Some("stats") => stats(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("reconstruct") => reconstruct(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some(other) => fail_usage(format!("unknown command `{other}`")),
         None => usage(),
     }
@@ -227,11 +236,13 @@ fn ingest(args: &[String]) {
     write_stdout(&mut stdout.lock(), out.as_bytes());
 }
 
-/// Loads the whole store strictly — the integrity gate shared by `query`
-/// and `reconstruct`. Any missing file, undecodable vector, or
-/// catalog/file disagreement is an operational failure.
-fn open_store(dir: &Path) -> (VecDoc, Catalog) {
-    Store::open(dir).unwrap_or_else(|e| fail(format!("{}: {e}", dir.display())))
+/// Opens a store strictly into a shared handle — the single
+/// store-open/error-reporting path for every store-reading command
+/// (`stats`, `query`, `reconstruct`, `serve`). Any missing file,
+/// undecodable vector, or catalog/skeleton disagreement is an
+/// operational failure: exit 1, one uniform `vx: <dir>: <cause>` line.
+fn open_store(dir: &Path) -> StoreHandle {
+    StoreHandle::open(dir).unwrap_or_else(|e| fail(format!("{}: {e}", dir.display())))
 }
 
 fn stats(args: &[String]) {
@@ -248,19 +259,20 @@ fn stats(args: &[String]) {
         fail_usage("stats: expected <store-dir>");
     };
     let dir = Path::new(dir);
-    let catalog_text = std::fs::read_to_string(dir.join("catalog.json"))
-        .unwrap_or_else(|e| fail(format!("{}: {e}", dir.join("catalog.json").display())));
-    let catalog = Catalog::parse(&catalog_text).unwrap_or_else(|e| fail(e));
-    let skeleton_bytes = std::fs::read(dir.join("skeleton.vxsk"))
-        .unwrap_or_else(|e| fail(format!("{}: {e}", dir.join("skeleton.vxsk").display())));
-    let (skeleton, root) = xmlvec::skeleton::read(&skeleton_bytes).unwrap_or_else(|e| fail(e));
+    // The shared strict open is the integrity gate: every vector file
+    // must decode and agree with the catalog and skeleton before
+    // anything is printed — a damaged store yields exit 1 and no
+    // partial output.
+    let handle = open_store(dir);
+    let catalog = handle.catalog();
+    let skeleton = handle.skeleton();
+    let root = handle.root();
     let sizes = StoreSizes::measure(dir).unwrap_or_else(|e| fail(e));
 
-    // Integrity gate: every vector file must decode and agree with its
-    // catalog row before anything is printed — a damaged store yields
-    // exit 1 and no partial output. One vector is resident at a time.
-    // With --metrics, reads go through a bounded buffer pool so the
-    // frame-cache behaviour of the paged path can be reported.
+    // Per-vector encoding survey (the handle's decoded vectors do not
+    // retain the on-disk encoding version). With --metrics, reads go
+    // through a bounded buffer pool so the frame-cache behaviour of the
+    // paged path can be reported.
     const STATS_FRAMES: usize = 16;
     let mut pool = xmlvec::storage::pager::PagerStats::default();
     let mut encodings: Vec<u8> = Vec::with_capacity(catalog.vectors.len());
@@ -385,17 +397,19 @@ fn query(args: &[String]) {
             "query: --out must be `values` or `xml`, got `{other}`"
         )),
     };
-    let (doc, _catalog) = open_store(Path::new(dir));
+    let handle = open_store(Path::new(dir));
     let compiled = Query::new(xq).unwrap_or_else(|e| fail(format!("query: {e}")));
-    // Every doc("…") name in the query resolves to this one store.
-    let corpus: Vec<(&str, &VecDoc)> = compiled
-        .graph()
-        .doc_names()
-        .into_iter()
-        .map(|name| (name, &doc))
-        .collect();
 
     if profile || profile_json {
+        // Every doc("…") name in the query resolves to this one store.
+        // Profiled runs go through the corpus path: spans must tile, so
+        // collection stays serial there.
+        let corpus: Vec<(&str, &VecDoc)> = compiled
+            .graph()
+            .doc_names()
+            .into_iter()
+            .map(|name| (name, handle.doc()))
+            .collect();
         let (output, profile) = compiled
             .run_corpus_profiled(&corpus)
             .unwrap_or_else(|e| fail(format!("query: {e}")));
@@ -414,7 +428,7 @@ fn query(args: &[String]) {
     }
 
     let output = compiled
-        .run_corpus(&corpus)
+        .run_handle(&handle)
         .unwrap_or_else(|e| fail(format!("query: {e}")));
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
@@ -506,8 +520,8 @@ fn reconstruct(args: &[String]) {
     let [dir] = positional[..] else {
         fail_usage("reconstruct: expected <store-dir>");
     };
-    let (doc, _catalog) = open_store(Path::new(dir));
-    let document = xmlvec::core::reconstruct(&doc).unwrap_or_else(|e| fail(e));
+    let handle = open_store(Path::new(dir));
+    let document = xmlvec::core::reconstruct(handle.doc()).unwrap_or_else(|e| fail(e));
     let xml = xmlvec::xml::write_document(&document, &xmlvec::xml::WriteOptions::compact());
     match out_file {
         Some(path) => {
@@ -518,4 +532,57 @@ fn reconstruct(args: &[String]) {
             write_stdout(&mut stdout.lock(), xml.as_bytes());
         }
     }
+}
+
+fn serve(args: &[String]) {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut addr = String::from("127.0.0.1:8080");
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args
+                    .get(i)
+                    .unwrap_or_else(|| fail_usage("serve: --addr needs a HOST:PORT value"))
+                    .clone();
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| fail_usage("serve: --threads needs a positive integer"));
+            }
+            flag if flag.starts_with('-') => fail_usage(format!("serve: unknown flag `{flag}`")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    if positional.is_empty() {
+        fail_usage("serve: expected at least one <store-dir>");
+    }
+    let dirs: Vec<&Path> = positional.iter().map(|s| Path::new(s.as_str())).collect();
+    let server = xmlvec::serve::Server::bind(&dirs, &addr, threads).unwrap_or_else(|e| fail(e));
+    // The readiness line carries the resolved address (port 0 binds an
+    // ephemeral port); scripts parse it before their first request.
+    let line = format!(
+        "vx serve: listening on http://{} ({} store{}, {} threads)\n",
+        server.local_addr(),
+        dirs.len(),
+        if dirs.len() == 1 { "" } else { "s" },
+        threads
+    );
+    {
+        use std::io::Write as _;
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        write_stdout(&mut lock, line.as_bytes());
+        let _ = lock.flush();
+    }
+    server.run().unwrap_or_else(|e| fail(e));
 }

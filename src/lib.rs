@@ -39,6 +39,8 @@
 //! # Ok::<(), xmlvec::Error>(())
 //! ```
 
+pub mod serve;
+
 pub use vx_baselines as baselines;
 pub use vx_bench as bench;
 pub use vx_core as core;

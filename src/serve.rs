@@ -1,0 +1,583 @@
+//! `vx serve` — a std-only HTTP/1.1 + JSON query server over shared
+//! immutable stores.
+//!
+//! The server is the payoff of the [`vx_core::StoreHandle`] refactor:
+//! every store is opened **once** at startup, every query is compiled
+//! **once** into the per-`(store, query-text)` cache, and a fixed pool
+//! of worker threads answers requests concurrently against the same
+//! `Arc`-shared handles — no locks anywhere on the read path (the query
+//! cache takes a brief `RwLock` around a `HashMap` probe; evaluation
+//! itself touches only immutable store data plus per-call scratch).
+//!
+//! The protocol is deliberately small (no external dependencies — the
+//! build environment is offline):
+//!
+//! | endpoint | body | answer |
+//! |---|---|---|
+//! | `POST /query` | `{"store":"name","query":"XQ…","out":"values"\|"xml"}` | `{"store","query","cached","values":[…]}` or `{"xml":"…"}` |
+//! | `GET /stats` | — | per-store catalog summary |
+//! | `GET /metrics` | — | per-endpoint latency histograms (count/p50/p99) |
+//! | `GET /healthz` | — | `{"status":"ok","stores":[…]}` |
+//! | `POST /shutdown` | — | acknowledges, then drains the worker pool |
+//!
+//! Errors are structured JSON — `{"error":{"code","kind","message"}}` —
+//! mapped from [`vx_engine::EngineError`]: parse/unsupported/unknown-
+//! document failures are 400s, an unknown store name is a 404, and a
+//! corrupt store is a 500. `store` may be omitted: with one store every
+//! `doc("…")` name resolves to it, and with several the query's
+//! `doc("name")` references resolve across the stores by name
+//! (cross-store joins included).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use vx_core::json::{self, Json};
+use vx_core::StoreHandle;
+use vx_engine::{EngineError, Query};
+use vx_obs::Histogram;
+
+/// Largest accepted request body (a query text, not a document).
+const MAX_BODY: usize = 1 << 20;
+
+/// Per-connection socket read timeout: a stalled keep-alive client
+/// releases its worker instead of pinning it forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Everything the worker threads share. Stores and compiled queries are
+/// immutable once inserted; the histograms are lock-free.
+struct AppState {
+    /// Store name (directory basename) → opened handle, plus the names
+    /// in startup order for deterministic listings.
+    stores: HashMap<String, StoreHandle>,
+    order: Vec<String>,
+    /// `(store name, query text)` → compiled query. Compile once, run
+    /// from any worker.
+    queries: RwLock<HashMap<(String, String), Arc<Query>>>,
+    /// Per-endpoint request latency, recorded for every answered
+    /// request including error answers.
+    lat_query: Histogram,
+    lat_stats: Histogram,
+    lat_metrics: Histogram,
+    lat_healthz: Histogram,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<AppState>();
+
+/// A bound, not-yet-running server. [`Server::bind`] opens the stores
+/// and the listener; [`Server::run`] blocks until a `POST /shutdown`
+/// drains the pool. Tests bind to port 0 and read
+/// [`Server::local_addr`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    threads: usize,
+}
+
+impl Server {
+    /// Opens every store directory into a [`StoreHandle`] (name = the
+    /// directory's basename) and binds `addr`. Duplicate basenames and
+    /// unopenable stores are errors — a server that silently dropped a
+    /// store would answer 404s for data the operator pointed it at.
+    pub fn bind(store_dirs: &[&Path], addr: &str, threads: usize) -> crate::Result<Server> {
+        if store_dirs.is_empty() {
+            return Err(crate::Error::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "serve: at least one store directory is required",
+            )));
+        }
+        let mut stores = HashMap::new();
+        let mut order = Vec::new();
+        for dir in store_dirs {
+            let handle = StoreHandle::open(dir).map_err(crate::Error::Core)?;
+            let name = handle.name().to_string();
+            if stores.insert(name.clone(), handle).is_some() {
+                return Err(crate::Error::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("serve: duplicate store name `{name}`"),
+                )));
+            }
+            order.push(name);
+        }
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(AppState {
+                stores,
+                order,
+                queries: RwLock::new(HashMap::new()),
+                lat_query: Histogram::new(),
+                lat_stats: Histogram::new(),
+                lat_metrics: Histogram::new(),
+                lat_healthz: Histogram::new(),
+                requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+            threads: threads.max(1),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Runs the accept loop on `threads` worker threads and blocks until
+    /// shutdown. Each worker accepts connections from the shared
+    /// listener and serves keep-alive requests until the client closes
+    /// or `POST /shutdown` flips the flag; the shutdown handler then
+    /// wakes every blocked `accept` with self-connections so the pool
+    /// drains promptly and deterministically.
+    pub fn run(self) -> crate::Result<()> {
+        let addr = self.local_addr();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                let listener = self
+                    .listener
+                    .try_clone()
+                    .expect("listener handles are clonable");
+                let state = Arc::clone(&self.state);
+                scope.spawn(move || {
+                    while !state.shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => serve_connection(stream, &state, addr),
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Serves one TCP connection: keep-alive request loop until the client
+/// closes, errors, or shutdown begins.
+fn serve_connection(stream: TcpStream, state: &Arc<AppState>, addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean EOF between requests
+            Err(RequestError::Io) => return,
+            Err(RequestError::Malformed(message)) => {
+                let body = error_json(400, "bad_request", &message);
+                let _ = write_response(&mut writer, 400, "Bad Request", &body, false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+        let start = Instant::now();
+        let (status, body) = handle(&request, state);
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(hist) = endpoint_histogram(state, &request) {
+            hist.record_secs(start.elapsed().as_secs_f64());
+        }
+        let reason = match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        };
+        if write_response(&mut writer, status, reason, &body, keep_alive).is_err() {
+            return;
+        }
+        // A shutdown request is answered first, then the pool is woken.
+        if request.method == "POST" && request.path == "/shutdown" {
+            state.shutdown.store(true, Ordering::SeqCst);
+            for _ in 0..64 {
+                match TcpStream::connect(addr) {
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn endpoint_histogram<'a>(state: &'a AppState, request: &Request) -> Option<&'a Histogram> {
+    match request.path.as_str() {
+        "/query" => Some(&state.lat_query),
+        "/stats" => Some(&state.lat_stats),
+        "/metrics" => Some(&state.lat_metrics),
+        "/healthz" => Some(&state.lat_healthz),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal HTTP/1.1 parsing and writing
+// ---------------------------------------------------------------------
+
+struct Request {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    body: Vec<u8>,
+}
+
+enum RequestError {
+    /// Read failure or timeout: drop the connection silently.
+    Io,
+    /// The bytes arrived but are not HTTP we accept: answer 400.
+    Malformed(String),
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, RequestError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(_) => return Err(RequestError::Io),
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => return Err(RequestError::Malformed("malformed request line".into())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(_) => return Err(RequestError::Io),
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(RequestError::Malformed(format!(
+            "request body exceeds {MAX_BODY} bytes"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    if reader.read_exact(&mut body).is_err() {
+        return Err(RequestError::Io);
+    }
+    // Strip a `?query` suffix; no endpoint takes URL parameters today.
+    let path = target.split('?').next().unwrap_or(&target).to_string();
+    Ok(Some(Request {
+        method,
+        path,
+        keep_alive,
+        body,
+    }))
+}
+
+fn write_response(
+    writer: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+// ---------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------
+
+fn error_json(code: u16, kind: &str, message: &str) -> String {
+    let error = Json::Object(vec![
+        ("code".into(), Json::Num(code as f64)),
+        ("kind".into(), Json::Str(kind.into())),
+        ("message".into(), Json::Str(message.into())),
+    ]);
+    json::to_string_pretty(&Json::Object(vec![("error".into(), error)]))
+}
+
+/// Maps an engine failure onto `(status, kind)`: the caller's fault
+/// (unparseable, unsupported, unknown document) is a 400; a store that
+/// fails mid-query is a 500.
+fn engine_error_response(e: &EngineError) -> (u16, String) {
+    let (code, kind) = match e {
+        EngineError::Xq(_) => (400, "bad_query"),
+        EngineError::Unsupported { .. } => (400, "unsupported_query"),
+        EngineError::UnknownDocument(_) => (400, "unknown_document"),
+        EngineError::Corrupt(_) | EngineError::Core(_) => (500, "store_error"),
+    };
+    (code, error_json(code, kind, &e.to_string()))
+}
+
+fn handle(request: &Request, state: &Arc<AppState>) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/query") => handle_query(request, state),
+        ("GET", "/stats") => (200, stats_json(state)),
+        ("GET", "/metrics") => (200, metrics_json(state)),
+        ("GET", "/healthz") => (200, healthz_json(state)),
+        ("POST", "/shutdown") => (
+            200,
+            json::to_string_pretty(&Json::Object(vec![(
+                "status".into(),
+                Json::Str("shutting down".into()),
+            )])),
+        ),
+        ("POST" | "GET", path) if known_path(path) => (
+            405,
+            error_json(
+                405,
+                "method_not_allowed",
+                &format!("wrong method for {path}"),
+            ),
+        ),
+        (_, path) => (
+            404,
+            error_json(404, "not_found", &format!("no such endpoint {path}")),
+        ),
+    }
+}
+
+fn known_path(path: &str) -> bool {
+    matches!(
+        path,
+        "/query" | "/stats" | "/metrics" | "/healthz" | "/shutdown"
+    )
+}
+
+fn handle_query(request: &Request, state: &Arc<AppState>) -> (u16, String) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_json(400, "bad_request", "body is not UTF-8")),
+    };
+    let parsed = match json::parse(body) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            return (
+                400,
+                error_json(400, "bad_request", &format!("bad JSON: {e}")),
+            )
+        }
+    };
+    let Some(query_text) = parsed.get("query").and_then(Json::as_str) else {
+        return (
+            400,
+            error_json(400, "bad_request", "missing string field `query`"),
+        );
+    };
+    // `store` present: every doc("…") name in the query resolves to
+    // that store (the CLI's semantics). Absent with one store: same.
+    // Absent with several: doc("name") resolves across the stores by
+    // name, so cross-store queries need no disambiguation.
+    let store_name = match parsed.get("store").and_then(Json::as_str) {
+        Some(name) => Some(name.to_string()),
+        None if state.order.len() == 1 => Some(state.order[0].clone()),
+        None => None,
+    };
+    let out_mode = match parsed.get("out").and_then(Json::as_str) {
+        None | Some("values") => "values",
+        Some("xml") => "xml",
+        Some(other) => {
+            return (
+                400,
+                error_json(
+                    400,
+                    "bad_request",
+                    &format!("`out` must be \"values\" or \"xml\", got \"{other}\""),
+                ),
+            )
+        }
+    };
+    let store = match &store_name {
+        Some(name) => match state.stores.get(name) {
+            Some(store) => Some(store),
+            None => {
+                return (
+                    404,
+                    error_json(404, "unknown_store", &format!("no store named `{name}`")),
+                )
+            }
+        },
+        None => None,
+    };
+
+    // Compiled-query cache: a read-locked probe on the hot path; misses
+    // compile outside any lock and publish under a brief write lock
+    // (last writer wins — both compiled the same source). The cross-
+    // store resolution mode caches under the reserved name `*`.
+    let cache_store = store_name.clone().unwrap_or_else(|| "*".into());
+    let key = (cache_store.clone(), query_text.to_string());
+    let cached = state
+        .queries
+        .read()
+        .ok()
+        .and_then(|cache| cache.get(&key).cloned());
+    let (query, was_cached) = match cached {
+        Some(query) => {
+            state.cache_hits.fetch_add(1, Ordering::Relaxed);
+            (query, true)
+        }
+        None => match Query::new(query_text) {
+            Ok(compiled) => {
+                let compiled = Arc::new(compiled);
+                if let Ok(mut cache) = state.queries.write() {
+                    cache.insert(key, Arc::clone(&compiled));
+                }
+                (compiled, false)
+            }
+            Err(e) => return engine_error_response(&e),
+        },
+    };
+
+    let run = match store {
+        Some(store) => query.run_handle(store),
+        None => {
+            let all: Vec<StoreHandle> = state
+                .order
+                .iter()
+                .map(|name| state.stores[name].clone())
+                .collect();
+            query.run_handles(&all)
+        }
+    };
+    let output = match run {
+        Ok(output) => output,
+        Err(e) => return engine_error_response(&e),
+    };
+    let mut fields = vec![
+        ("store".into(), Json::Str(cache_store)),
+        ("query".into(), Json::Str(query_text.into())),
+        ("cached".into(), Json::Bool(was_cached)),
+    ];
+    match out_mode {
+        "xml" => match output.to_xml() {
+            Ok(xml) => fields.push(("xml".into(), Json::Str(xml))),
+            Err(e) => return engine_error_response(&e),
+        },
+        _ => {
+            let values: Vec<Json> = output.strings().into_iter().map(Json::Str).collect();
+            fields.push(("count".into(), Json::Num(values.len() as f64)));
+            fields.push(("values".into(), Json::Array(values)));
+        }
+    }
+    (200, json::to_string_pretty(&Json::Object(fields)))
+}
+
+fn healthz_json(state: &AppState) -> String {
+    let stores: Vec<Json> = state
+        .order
+        .iter()
+        .map(|name| Json::Str(name.clone()))
+        .collect();
+    json::to_string_pretty(&Json::Object(vec![
+        ("status".into(), Json::Str("ok".into())),
+        ("stores".into(), Json::Array(stores)),
+    ]))
+}
+
+fn stats_json(state: &AppState) -> String {
+    let stores: Vec<Json> = state
+        .order
+        .iter()
+        .map(|name| {
+            let handle = &state.stores[name];
+            let catalog = handle.catalog();
+            Json::Object(vec![
+                ("name".into(), Json::Str(name.clone())),
+                ("vectors".into(), Json::Num(catalog.vectors.len() as f64)),
+                ("nodes".into(), Json::Num(catalog.node_count as f64)),
+                (
+                    "dag_nodes".into(),
+                    Json::Num(handle.skeleton().len() as f64),
+                ),
+                ("text_bytes".into(), Json::Num(catalog.text_bytes as f64)),
+            ])
+        })
+        .collect();
+    json::to_string_pretty(&Json::Object(vec![("stores".into(), Json::Array(stores))]))
+}
+
+fn histogram_json(hist: &Histogram) -> Json {
+    Json::Object(vec![
+        ("count".into(), Json::Num(hist.count() as f64)),
+        ("p50_us".into(), Json::Num(hist.p50_us() as f64)),
+        ("p99_us".into(), Json::Num(hist.p99_us() as f64)),
+        ("mean_us".into(), Json::Num(hist.mean_us().round())),
+        ("max_us".into(), Json::Num(hist.max_us() as f64)),
+    ])
+}
+
+fn metrics_json(state: &AppState) -> String {
+    json::to_string_pretty(&Json::Object(vec![
+        (
+            "uptime_secs".into(),
+            Json::Num(state.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "requests".into(),
+            Json::Num(state.requests.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "errors".into(),
+            Json::Num(state.errors.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "query_cache_hits".into(),
+            Json::Num(state.cache_hits.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "endpoints".into(),
+            Json::Object(vec![
+                ("query".into(), histogram_json(&state.lat_query)),
+                ("stats".into(), histogram_json(&state.lat_stats)),
+                ("metrics".into(), histogram_json(&state.lat_metrics)),
+                ("healthz".into(), histogram_json(&state.lat_healthz)),
+            ]),
+        ),
+    ]))
+}

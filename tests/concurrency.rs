@@ -1,0 +1,147 @@
+//! Concurrency differentials for the shared-immutable store refactor.
+//!
+//! One [`StoreHandle`] per bench corpus is shared (by `Arc`-bump clone)
+//! across 8 threads, each running the full table3 workload; every
+//! thread's output must be byte-identical to the serial baseline. A
+//! second differential pins the parallel per-document collection path:
+//! a two-document join evaluated with the fan-out enabled must match
+//! the serial pass byte for byte.
+
+use std::collections::HashMap;
+use xmlvec::core::{vectorize, StoreHandle};
+use xmlvec::engine::Query;
+use xmlvec::QueryOutput;
+
+/// Tiny corpora — large enough that every workload query returns rows,
+/// small enough to keep the 8×13 query matrix fast in CI.
+fn tiny_handles() -> Vec<StoreHandle> {
+    let scales: HashMap<&str, usize> = [("xk", 80), ("tb", 160), ("ml", 160), ("ss", 160)].into();
+    xmlvec::bench::DATASETS
+        .iter()
+        .map(|&dataset| {
+            let doc = xmlvec::bench::corpus(dataset, scales[dataset]);
+            let vec_doc = vectorize(&doc).expect("bench corpora vectorize");
+            StoreHandle::from_doc(dataset, vec_doc).expect("handle from corpus")
+        })
+        .collect()
+}
+
+/// Canonical bytes of an output: raw values for projections, compact
+/// XML for constructor results. "Identical" in these tests means these
+/// bytes, not a lossy string view.
+fn canon(output: &QueryOutput) -> Vec<u8> {
+    match output {
+        QueryOutput::Values(values) => {
+            let mut bytes = Vec::new();
+            for value in values {
+                bytes.extend_from_slice(value);
+                bytes.push(b'\n');
+            }
+            bytes
+        }
+        QueryOutput::Document(_) => output
+            .to_xml()
+            .expect("constructor output serializes")
+            .into_bytes(),
+    }
+}
+
+/// The engine auto-disables the multi-document fan-out on single-core
+/// hosts; the differentials here are about the scoped-thread merge
+/// path, so they force it regardless of the machine CI runs on. Every
+/// test sets the same value, so concurrent test threads don't race.
+fn force_parallel() {
+    std::env::set_var("VX_PARALLEL", "force");
+}
+
+#[test]
+fn eight_threads_match_serial_on_the_workload() {
+    force_parallel();
+    let handles = tiny_handles();
+    let specs = xmlvec::data::workload();
+
+    // Compile once, run everywhere: the queries are shared across all 8
+    // threads, exactly as `vx serve`'s compiled-query cache shares them.
+    let compiled: Vec<(&str, Query)> = specs
+        .iter()
+        .map(|spec| (spec.name, Query::new(spec.xq).expect(spec.name)))
+        .collect();
+
+    let serial: Vec<Vec<u8>> = compiled
+        .iter()
+        .map(|(name, query)| canon(&query.run_handles_serial(&handles).expect(name)))
+        .collect();
+    assert!(
+        serial.iter().any(|bytes| !bytes.is_empty()),
+        "workload should produce rows at test scale"
+    );
+
+    std::thread::scope(|scope| {
+        for thread in 0..8 {
+            let compiled = &compiled;
+            let serial = &serial;
+            let handles = &handles;
+            scope.spawn(move || {
+                for ((name, query), expected) in compiled.iter().zip(serial) {
+                    let output = query
+                        .run_handles(handles)
+                        .unwrap_or_else(|e| panic!("thread {thread}, {name}: {e}"));
+                    assert_eq!(
+                        &canon(&output),
+                        expected,
+                        "thread {thread}: {name} diverged from the serial run"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn parallel_multi_document_collection_matches_serial() {
+    force_parallel();
+    // Two handles over the same XMark corpus under different names: the
+    // self-join references both documents, so `run_handles` takes the
+    // scoped-thread collection path while `run_handles_serial` walks
+    // the documents one after the other.
+    let doc = xmlvec::bench::corpus("xk", 60);
+    let vec_doc = vectorize(&doc).expect("xmark vectorizes");
+    let handles = vec![
+        StoreHandle::from_doc("a", vec_doc.clone()).unwrap(),
+        StoreHandle::from_doc("b", vec_doc).unwrap(),
+    ];
+    let query = Query::new(
+        r#"for $p in doc("a")/site/people/person,
+               $q in doc("b")/site/people/person
+           where $p/@id = $q/@id
+           return $p/name"#,
+    )
+    .unwrap();
+
+    let serial = canon(&query.run_handles_serial(&handles).unwrap());
+    let parallel = canon(&query.run_handles(&handles).unwrap());
+    assert!(!serial.is_empty(), "self-join should match every person");
+    assert_eq!(
+        parallel, serial,
+        "parallel collection must be byte-identical"
+    );
+}
+
+#[test]
+fn handle_clones_share_one_store() {
+    let doc = xmlvec::bench::corpus("xk", 20);
+    let handle = StoreHandle::from_doc("xk", vectorize(&doc).unwrap()).unwrap();
+    let query = Query::new(r#"for $i in doc("xk")/site/regions/*/item return $i/name"#).unwrap();
+    let expected = canon(&query.run_handle(&handle).unwrap());
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let clone = handle.clone();
+            let query = &query;
+            let expected = &expected;
+            scope.spawn(move || {
+                assert_eq!(&canon(&query.run_handle(&clone).unwrap()), expected);
+            });
+        }
+    });
+}

@@ -126,7 +126,7 @@ fn ml_4000_text_paths_are_all_cataloged() {
         .iter()
         .map(|v| v.path.as_str())
         .collect();
-    for (path, _count) in index.text_paths() {
+    for (path, _count) in index.text_paths(skeleton) {
         let joined = path
             .iter()
             .map(|&id| skeleton.name(id))

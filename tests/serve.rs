@@ -1,0 +1,265 @@
+//! End-to-end tests for `vx serve`: a real server on a loopback port,
+//! driven by raw TCP clients — concurrent queries against one shared
+//! store, the structured error contract, metrics, and graceful
+//! shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use xmlvec::core::json::{self, Json};
+use xmlvec::serve::Server;
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vx-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    xmlvec::bench::build_corpus_store(&dir, "xk", 40).expect("tiny store builds");
+    dir
+}
+
+/// Starts a server on an ephemeral port; returns its address and the
+/// thread running the accept loop (joins cleanly after `/shutdown`).
+fn start(dirs: Vec<PathBuf>, threads: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let dir_refs: Vec<&Path> = dirs.iter().map(PathBuf::as_path).collect();
+    let server = Server::bind(&dir_refs, "127.0.0.1:0", threads).expect("bind loopback");
+    let addr = server.local_addr();
+    let worker = std::thread::spawn(move || server.run().expect("serve loop"));
+    (addr, worker)
+}
+
+/// A one-shot HTTP/1.1 exchange: returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: vx\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {response:?}"));
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn shutdown(addr: SocketAddr, worker: std::thread::JoinHandle<()>) {
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    worker.join().expect("server thread exits after shutdown");
+}
+
+const QUERY: &str = r#"for $i in doc("xk")/site/regions/*/item return $i/name"#;
+
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let dir = temp_store("concurrent");
+    let (addr, worker) = start(vec![dir.clone()], 4);
+
+    let body = format!("{{\"query\": {}}}", json_str(QUERY));
+    let (status, first) = request(addr, "POST", "/query", &body);
+    assert_eq!(status, 200, "first query failed: {first}");
+    let parsed = json::parse(&first).expect("JSON answer");
+    let count = parsed.get("count").and_then(Json::as_u64).expect("count");
+    assert!(count > 0, "tiny store should have items");
+    let expected_values = parsed.get("values").cloned().expect("values array");
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let body = &body;
+            let expected = &expected_values;
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let (status, answer) = request(addr, "POST", "/query", body);
+                    assert_eq!(status, 200, "concurrent query failed: {answer}");
+                    let parsed = json::parse(&answer).expect("JSON answer");
+                    assert_eq!(parsed.get("values"), Some(expected));
+                }
+            });
+        }
+    });
+
+    // After the warm-up request, every one of the 40 concurrent
+    // requests must have hit the compiled-query cache.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let parsed = json::parse(&metrics).expect("metrics JSON");
+    let hits = parsed
+        .get("query_cache_hits")
+        .and_then(Json::as_u64)
+        .expect("cache hits");
+    assert!(hits >= 40, "expected >=40 cache hits, saw {hits}");
+    let query_count = parsed
+        .get("endpoints")
+        .and_then(|e| e.get("query"))
+        .and_then(|q| q.get("count"))
+        .and_then(Json::as_u64)
+        .expect("query endpoint count");
+    assert!(
+        query_count >= 41,
+        "histogram missed requests: {query_count}"
+    );
+
+    shutdown(addr, worker);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn error_contract_is_structured_json() {
+    // Two stores: the storeless requests below exercise the by-name
+    // document resolution path, where `doc("missing")` is reachable.
+    let dir = temp_store("errors");
+    let dir2 = temp_store("errors2");
+    let (addr, worker) = start(vec![dir.clone(), dir2.clone()], 2);
+
+    // Malformed JSON body → 400 bad_request.
+    let (status, body) = request(addr, "POST", "/query", "{not json");
+    assert_eq!(status, 400);
+    assert_eq!(error_kind(&body), "bad_request");
+
+    // Unparseable query → 400 bad_query.
+    let (status, body) = request(addr, "POST", "/query", r#"{"query": "for $x in"}"#);
+    assert_eq!(status, 400);
+    assert_eq!(error_kind(&body), "bad_query");
+
+    // Unknown store → 404 unknown_store.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/query",
+        &format!("{{\"store\": \"nope\", \"query\": {}}}", json_str(QUERY)),
+    );
+    assert_eq!(status, 404);
+    assert_eq!(error_kind(&body), "unknown_store");
+
+    // Unknown document inside the query → 400 unknown_document.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/query",
+        r#"{"query": "for $x in doc(\"missing\")/a return $x/b"}"#,
+    );
+    assert_eq!(status, 400);
+    assert_eq!(error_kind(&body), "unknown_document");
+
+    // Unknown endpoint → 404; wrong method on a known one → 405.
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/query", "");
+    assert_eq!(status, 405);
+
+    // Healthz still fine after all those errors.
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let parsed = json::parse(&body).unwrap();
+    assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+
+    shutdown(addr, worker);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn stats_and_xml_output_and_keep_alive() {
+    let dir = temp_store("stats");
+    let (addr, worker) = start(vec![dir.clone()], 2);
+
+    let (status, body) = request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let parsed = json::parse(&body).unwrap();
+    let stores = parsed.get("stores").and_then(Json::as_array).unwrap();
+    assert_eq!(stores.len(), 1);
+    assert!(stores[0].get("vectors").and_then(Json::as_u64).unwrap() > 0);
+
+    // XML output mode wraps the projection.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/query",
+        &format!("{{\"query\": {}, \"out\": \"xml\"}}", json_str(QUERY)),
+    );
+    assert_eq!(status, 200);
+    let parsed = json::parse(&body).unwrap();
+    let xml = parsed.get("xml").and_then(Json::as_str).unwrap();
+    assert!(xml.starts_with("<results>"), "xml answer: {xml}");
+
+    // Two requests over one keep-alive connection; each response is
+    // read to exactly its content-length so the second request starts
+    // on a clean boundary.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for _ in 0..2 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: vx\r\n\r\n")
+            .unwrap();
+        let text = read_one_response(&mut stream);
+        assert!(text.starts_with("HTTP/1.1 200"), "keep-alive reply: {text}");
+    }
+    drop(stream);
+
+    shutdown(addr, worker);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Reads exactly one HTTP response (headers + content-length body) from
+/// a keep-alive connection, leaving the stream at the next boundary.
+fn read_one_response(stream: &mut TcpStream) -> String {
+    let mut bytes = Vec::new();
+    let mut buffer = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut buffer).expect("read headers");
+        assert!(n > 0, "connection closed mid-response");
+        bytes.extend_from_slice(&buffer[..n]);
+    };
+    let headers = String::from_utf8_lossy(&bytes[..header_end]).into_owned();
+    let content_length: usize = headers
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("content-length header");
+    while bytes.len() < header_end + content_length {
+        let n = stream.read(&mut buffer).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        bytes.extend_from_slice(&buffer[..n]);
+    }
+    String::from_utf8_lossy(&bytes[..header_end + content_length]).into_owned()
+}
+
+fn error_kind(body: &str) -> String {
+    json::parse(body)
+        .ok()
+        .and_then(|parsed| {
+            parsed
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        })
+        .unwrap_or_else(|| panic!("not an error body: {body}"))
+}
+
+/// Serializes a string as a JSON literal (the tests hand-build bodies).
+fn json_str(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
