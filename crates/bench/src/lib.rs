@@ -292,7 +292,9 @@ pub fn time_query(
 
         let corpus: Vec<(&str, &VecDoc)> = vec![(dataset, &doc)];
         let start = Instant::now();
-        let output = compiled.run_corpus(&corpus)?;
+        let output = compiled
+            .run_with(&corpus[..], &vx_engine::RunOptions::default())?
+            .output;
         let elapsed = start.elapsed().as_secs_f64();
         best_secs = best_secs.min(elapsed);
         total_secs += elapsed;
@@ -325,7 +327,12 @@ pub fn profile_query(
     let compiled = Query::new(xq)?;
     let (doc, _catalog) = Store::open(dir)?;
     let corpus: Vec<(&str, &VecDoc)> = vec![(dataset, &doc)];
-    let (output, profile) = compiled.run_corpus_profiled(&corpus)?;
+    let options = vx_engine::RunOptions {
+        profile: true,
+        ..Default::default()
+    };
+    let outcome = compiled.run_with(&corpus[..], &options)?;
+    let (output, profile) = (outcome.output, outcome.profile.expect("profile requested"));
     let cardinality = match &output {
         QueryOutput::Values(values) => values.len() as u64,
         QueryOutput::Document(_) => output.strings().len() as u64,

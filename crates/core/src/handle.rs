@@ -80,6 +80,7 @@ impl StoreHandle {
                     file: format!("v{i:06}.vec"),
                     count: v.values.len() as u64,
                     data_bytes: v.values.iter().map(|b| b.len() as u64).sum(),
+                    version: 0,
                 })
                 .collect(),
             node_count: doc.node_count(),

@@ -140,6 +140,7 @@ fn write_output(
             file,
             count: stats.count,
             data_bytes: stats.data_bytes,
+            version: stats.version,
         });
     }
 

@@ -4,7 +4,8 @@
 //! ```json
 //! {
 //!   "vectors": [
-//!     {"path": "…/PMID", "file": "v000000.vec", "count": 4000, "data_bytes": 36000},
+//!     {"path": "…/PMID", "file": "v000000.vec", "count": 4000,
+//!      "data_bytes": 36000, "version": 3},
 //!     …
 //!   ],
 //!   "node_count": 168129,
@@ -16,7 +17,10 @@
 //! byte length of the `.vec` record/code stream, `node_count` the expanded
 //! (uncompressed) element+text node count of the document, and
 //! `text_bytes` the sum of raw value lengths. This matches the surviving
-//! `bench_results/stores/` catalogs byte-for-byte in structure.
+//! `bench_results/stores/` catalogs in structure. `version` records each
+//! file's `.vec` format version so mixed v1/v2/v3 stores open cleanly;
+//! catalogs written before it existed parse with version 0 ("unrecorded")
+//! and the file's own header stays authoritative.
 
 use crate::json::{self, Json};
 use crate::vecdoc::{PathVector, VecDoc};
@@ -33,6 +37,9 @@ pub struct CatalogEntry {
     pub file: String,
     pub count: u64,
     pub data_bytes: u64,
+    /// `.vec` format version of the file (1 plain, 2 dict, 3 indexed).
+    /// 0 means the catalog predates this field; the file header decides.
+    pub version: u8,
 }
 
 /// The parsed `catalog.json`.
@@ -71,6 +78,9 @@ impl Catalog {
                 data_bytes: field("data_bytes")?
                     .as_u64()
                     .ok_or_else(|| CoreError::Catalog(format!("vector {i}: bad `data_bytes`")))?,
+                // Absent in catalogs written before the field existed
+                // (golden stores) — tolerate, don't error.
+                version: row.get("version").and_then(Json::as_u64).unwrap_or(0) as u8,
             });
         }
         let u64_field = |name: &str| {
@@ -96,6 +106,7 @@ impl Catalog {
                     ("file".into(), Json::Str(e.file.clone())),
                     ("count".into(), Json::Num(e.count as f64)),
                     ("data_bytes".into(), Json::Num(e.data_bytes as f64)),
+                    ("version".into(), Json::Num(e.version as f64)),
                 ])
             })
             .collect();
@@ -154,6 +165,7 @@ impl Store {
                 file,
                 count: vector.values.len() as u64,
                 data_bytes: decoded.stats().data_bytes,
+                version: decoded.stats().version,
             });
         }
         let catalog = Catalog {
@@ -194,6 +206,10 @@ impl Store {
                 path: entry.path.clone(),
                 values: vector.iter().map(<[u8]>::to_vec).collect(),
             });
+            if let Some(order) = vector.sorted_order() {
+                let pos = doc.vector_position(&entry.path).expect("just inserted");
+                doc.set_sorted_run(pos, order.to_vec());
+            }
         }
         Ok((doc, catalog))
     }
@@ -232,20 +248,25 @@ impl Store {
             }
             // A damaged record-length varint can throw the whole stream
             // off; keep whatever the reader managed and carry on.
-            let values = match Vector::open_salvage(&path, entry.count) {
+            let (values, sorted) = match Vector::open_salvage(&path, entry.count) {
                 Ok(vector) => {
                     loaded += 1;
-                    vector.iter().map(<[u8]>::to_vec).collect()
+                    let sorted = vector.sorted_order().map(<[u32]>::to_vec);
+                    (vector.iter().map(<[u8]>::to_vec).collect(), sorted)
                 }
                 Err(e) => {
                     damaged_files.push((entry.file.clone(), e.to_string()));
-                    Vec::new()
+                    (Vec::new(), None)
                 }
             };
             doc.insert_vector(PathVector {
                 path: entry.path.clone(),
                 values,
             });
+            if let Some(order) = sorted {
+                let pos = doc.vector_position(&entry.path).expect("just inserted");
+                doc.set_sorted_run(pos, order);
+            }
         }
         Ok(SalvageStore {
             doc,
@@ -341,6 +362,57 @@ mod tests {
         let (loaded, _) = Store::open(&dir).unwrap();
         assert_eq!(reconstruct(&loaded).unwrap().root, doc.root);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn indexed_store_round_trips_with_sorted_run() {
+        // High-cardinality column (no dictionary possible, count ≥ 64)
+        // triggers the version-3 value index under Auto compaction.
+        let mut src = String::from("<t>");
+        for i in 0..200 {
+            src.push_str(&format!("<r><id>{}</id></r>", (i * 37) % 200));
+        }
+        src.push_str("</t>");
+        let doc = parse(&src).unwrap();
+        let v = vectorize(&doc).unwrap();
+        let dir = temp_dir("indexed");
+        let catalog = Store::save(&dir, &v, Compaction::Auto).unwrap();
+        assert_eq!(catalog.vectors[0].version, 3);
+
+        let (loaded, reread) = Store::open(&dir).unwrap();
+        assert_eq!(reread.vectors, catalog.vectors);
+        let pos = loaded.vector_position(&catalog.vectors[0].path).unwrap();
+        let order = loaded
+            .sorted_run(pos)
+            .expect("v3 store populates sorted run");
+        assert_eq!(order.len(), 200);
+        let values = &loaded.vectors()[pos].values;
+        assert!(order
+            .windows(2)
+            .all(|w| values[w[0] as usize] < values[w[1] as usize]));
+        assert_eq!(reconstruct(&loaded).unwrap().root, doc.root);
+
+        // Plain saves of the same doc record version 1 and load no run.
+        let dir2 = temp_dir("indexed-plain");
+        let plain = Store::save(&dir2, &v, Compaction::None).unwrap();
+        assert_eq!(plain.vectors[0].version, 1);
+        let (loaded2, _) = Store::open(&dir2).unwrap();
+        assert!(loaded2.sorted_run(pos).is_none());
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn catalog_without_version_field_parses_as_zero() {
+        let text = r#"{
+  "vectors": [
+    {"path": "a/b", "file": "v000000.vec", "count": 2, "data_bytes": 4}
+  ],
+  "node_count": 5,
+  "text_bytes": 2
+}"#;
+        let catalog = Catalog::parse(text).unwrap();
+        assert_eq!(catalog.vectors[0].version, 0);
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct VecDoc {
     pub root: Option<NodeId>,
     vectors: Vec<PathVector>,
     lookup: HashMap<String, usize>,
+    /// Persistent value indexes, keyed by vector index: record positions
+    /// sorted by `(value bytes, position)`. Populated from version-3
+    /// `.vec` files at store-open time; in-memory documents have none.
+    sorted: HashMap<usize, Vec<u32>>,
 }
 
 impl VecDoc {
@@ -32,6 +36,7 @@ impl VecDoc {
             root,
             vectors: Vec::new(),
             lookup: HashMap::new(),
+            sorted: HashMap::new(),
         }
     }
 
@@ -61,14 +66,33 @@ impl VecDoc {
     }
 
     /// Inserts a whole vector (store loading); replaces an existing path.
+    /// Replacement drops any persistent value index recorded for the
+    /// slot — the new values make it stale.
     pub fn insert_vector(&mut self, vector: PathVector) {
         match self.lookup.get(&vector.path) {
-            Some(&i) => self.vectors[i] = vector,
+            Some(&i) => {
+                self.sorted.remove(&i);
+                self.vectors[i] = vector;
+            }
             None => {
                 self.lookup.insert(vector.path.clone(), self.vectors.len());
                 self.vectors.push(vector);
             }
         }
+    }
+
+    /// Records the persistent value index for the vector at `vec_index`
+    /// (store loading, version-3 files).
+    pub fn set_sorted_run(&mut self, vec_index: usize, order: Vec<u32>) {
+        debug_assert_eq!(order.len(), self.vectors[vec_index].values.len());
+        self.sorted.insert(vec_index, order);
+    }
+
+    /// The persistent value index for the vector at `vec_index`, if one
+    /// was loaded: record positions ordered by value bytes ascending,
+    /// ties in document order.
+    pub fn sorted_run(&self, vec_index: usize) -> Option<&[u32]> {
+        self.sorted.get(&vec_index).map(|v| v.as_slice())
     }
 
     /// Vector lookup by path.

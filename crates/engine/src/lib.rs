@@ -33,6 +33,7 @@
 
 mod graph;
 mod oracle;
+mod plan;
 mod profile;
 mod reduce;
 
@@ -41,6 +42,7 @@ pub use graph::{
     Template, TplItem, ValueRef, VarNode,
 };
 pub use oracle::{naive_eval, NaiveOutput};
+pub use plan::{IndexSource, JoinStrategy, Plan, PlanFilter, PlanJoin, PlanVar, RunOptions};
 pub use profile::{QueryProfile, VarCardinality};
 pub use reduce::{reduce, reduce_profiled, DocBinding};
 
@@ -124,14 +126,77 @@ impl From<CoreError> for EngineError {
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;
 
+/// What a query runs against: one document, a named corpus, or opened
+/// store handles (whose precomputed [`vx_skeleton::PathIndex`] and
+/// persistent value indexes are reused). Built via `From`, so
+/// [`Query::run_with`] accepts any of the four shapes directly.
+#[derive(Debug, Clone, Copy)]
+pub enum Targets<'a> {
+    /// Every `doc("…")` name in the query resolves to this document.
+    Doc(&'a VecDoc),
+    /// Each `doc("name")` resolves through the slice (first entry wins
+    /// on duplicates); unknown names fail with
+    /// [`EngineError::UnknownDocument`].
+    Corpus(&'a [(&'a str, &'a VecDoc)]),
+    /// Every `doc("…")` name resolves to this opened store.
+    Handle(&'a StoreHandle),
+    /// Each `doc("name")` resolves to the handle whose
+    /// [`StoreHandle::name`] matches.
+    Handles(&'a [StoreHandle]),
+}
+
+impl<'a> From<&'a VecDoc> for Targets<'a> {
+    fn from(doc: &'a VecDoc) -> Self {
+        Targets::Doc(doc)
+    }
+}
+
+impl<'a> From<&'a [(&'a str, &'a VecDoc)]> for Targets<'a> {
+    fn from(docs: &'a [(&'a str, &'a VecDoc)]) -> Self {
+        Targets::Corpus(docs)
+    }
+}
+
+impl<'a> From<&'a Vec<(&'a str, &'a VecDoc)>> for Targets<'a> {
+    fn from(docs: &'a Vec<(&'a str, &'a VecDoc)>) -> Self {
+        Targets::Corpus(docs)
+    }
+}
+
+impl<'a> From<&'a StoreHandle> for Targets<'a> {
+    fn from(store: &'a StoreHandle) -> Self {
+        Targets::Handle(store)
+    }
+}
+
+impl<'a> From<&'a [StoreHandle]> for Targets<'a> {
+    fn from(stores: &'a [StoreHandle]) -> Self {
+        Targets::Handles(stores)
+    }
+}
+
+impl<'a> From<&'a Vec<StoreHandle>> for Targets<'a> {
+    fn from(stores: &'a Vec<StoreHandle>) -> Self {
+        Targets::Handles(stores)
+    }
+}
+
+/// What [`Query::run_with`] returns: the output, plus the profile when
+/// [`RunOptions::profile`] asked for one.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    pub output: QueryOutput,
+    pub profile: Option<QueryProfile>,
+}
+
 /// A compiled query: parse and compile once, run many times.
 ///
 /// ```
-/// use vx_engine::{Query, QueryOutput};
+/// use vx_engine::{Query, QueryOutput, RunOptions};
 /// let xml = "<lib><book><t>A</t></book><book><t>B</t></book></lib>";
 /// let doc = vx_core::vectorize(&vx_xml::parse(xml).unwrap()).unwrap();
 /// let q = Query::new(r#"for $b in doc("lib")//book return $b/t"#).unwrap();
-/// let out = q.run(&doc).unwrap();
+/// let out = q.run_with(&doc, &RunOptions::default()).unwrap().output;
 /// assert_eq!(out.strings(), vec!["A", "B"]);
 /// ```
 #[derive(Debug, Clone)]
@@ -167,105 +232,187 @@ impl Query {
         &self.graph
     }
 
+    /// Resolves `targets` into per-document bindings. Handle-backed
+    /// targets carry their precomputed [`vx_skeleton::PathIndex`];
+    /// bare documents and corpora build one per run.
+    fn bindings<'a>(&'a self, targets: &Targets<'a>) -> Vec<DocBinding<'a>> {
+        match *targets {
+            Targets::Doc(doc) => self
+                .graph
+                .doc_names()
+                .into_iter()
+                .map(|name| DocBinding {
+                    name,
+                    doc,
+                    index: None,
+                })
+                .collect(),
+            Targets::Corpus(docs) => docs
+                .iter()
+                .map(|&(name, doc)| DocBinding {
+                    name,
+                    doc,
+                    index: None,
+                })
+                .collect(),
+            Targets::Handle(store) => self
+                .graph
+                .doc_names()
+                .into_iter()
+                .map(|name| DocBinding {
+                    name,
+                    doc: store.doc(),
+                    index: Some(store.index()),
+                })
+                .collect(),
+            Targets::Handles(stores) => stores
+                .iter()
+                .map(|s| DocBinding {
+                    name: s.name(),
+                    doc: s.doc(),
+                    index: Some(s.index()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs the query against any [`Targets`] shape under one option
+    /// set — the single execution entry point (the pre-0.3
+    /// `run`/`run_corpus`/`run_handle`/… family are thin shims over
+    /// this).
+    ///
+    /// Multi-document collection fans out over scoped threads when
+    /// [`RunOptions::parallel`] is set (subject to `VX_PARALLEL` and the
+    /// host CPU count); results are byte-identical to the serial pass.
+    /// With [`RunOptions::profile`] the outcome carries a
+    /// [`QueryProfile`] and collection stays serial so the per-step
+    /// spans tile the total.
+    pub fn run_with<'a>(
+        &'a self,
+        targets: impl Into<Targets<'a>>,
+        options: &RunOptions,
+    ) -> Result<RunOutcome> {
+        let targets = targets.into();
+        let bindings = self.bindings(&targets);
+        let (output, profile) = reduce::reduce_with(&self.graph, &bindings, &self.source, options)?;
+        Ok(RunOutcome { output, profile })
+    }
+
+    /// Explains how the query would execute against `targets` under the
+    /// default options: runs collection (one skeleton pass — never
+    /// enumeration), then reports exact per-variable cardinalities, the
+    /// join strategy the planner picks per edge, and which literal
+    /// filters resolve through persistent value indexes. The rendered
+    /// form is stable (`vx explain`, the server's `"explain": true`).
+    pub fn explain<'a>(&'a self, targets: impl Into<Targets<'a>>) -> Result<Plan> {
+        self.explain_with(targets, &RunOptions::default())
+    }
+
+    /// As [`Query::explain`] under explicit options (forced strategy,
+    /// indexes off).
+    pub fn explain_with<'a>(
+        &'a self,
+        targets: impl Into<Targets<'a>>,
+        options: &RunOptions,
+    ) -> Result<Plan> {
+        let targets = targets.into();
+        let bindings = self.bindings(&targets);
+        reduce::explain_with(&self.graph, &bindings, options)
+    }
+
     /// Runs against a single document: every `doc("…")` name in the query
     /// resolves to `doc`.
+    #[deprecated(since = "0.3.0", note = "use `run_with(doc, &RunOptions::default())`")]
     pub fn run(&self, doc: &VecDoc) -> Result<QueryOutput> {
-        let docs: Vec<(&str, &VecDoc)> = self
-            .graph
-            .doc_names()
-            .into_iter()
-            .map(|name| (name, doc))
-            .collect();
-        reduce::reduce_hinted(&self.graph, &docs, &self.source, true)
+        Ok(self.run_with(doc, &RunOptions::default())?.output)
     }
 
-    /// Runs against a named corpus; each `doc("name")` resolves through
-    /// the slice. Unknown names fail with
-    /// [`EngineError::UnknownDocument`]. Queries spanning several
-    /// documents collect them in parallel (one scoped thread per
-    /// document); results are byte-identical to the serial pass.
+    /// Runs against a named corpus.
+    #[deprecated(since = "0.3.0", note = "use `run_with(docs, &RunOptions::default())`")]
     pub fn run_corpus(&self, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
-        reduce::reduce_hinted(&self.graph, docs, &self.source, true)
+        Ok(self.run_with(docs, &RunOptions::default())?.output)
     }
 
-    /// As [`Query::run_corpus`] with the per-document fan-out disabled —
-    /// the serial baseline the bench harness compares against.
+    /// As [`Query::run_corpus`] with the per-document fan-out disabled.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `run_with(docs, &RunOptions { parallel: false, .. })`"
+    )]
     pub fn run_corpus_serial(&self, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
-        reduce::reduce_hinted(&self.graph, docs, &self.source, false)
+        let options = RunOptions {
+            parallel: false,
+            ..RunOptions::default()
+        };
+        Ok(self.run_with(docs, &options)?.output)
     }
 
-    /// Runs against one opened store: every `doc("…")` name resolves to
-    /// the handle, and its precomputed [`vx_skeleton::PathIndex`] is
-    /// reused instead of being rebuilt per query. This is the `vx serve`
-    /// hot path — the handle is shared across threads, the query holds
-    /// no mutable state, and all scratch lives in the call.
+    /// Runs against one opened store.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `run_with(store, &RunOptions::default())`"
+    )]
     pub fn run_handle(&self, store: &StoreHandle) -> Result<QueryOutput> {
-        let bindings: Vec<DocBinding<'_>> = self
-            .graph
-            .doc_names()
-            .into_iter()
-            .map(|name| DocBinding {
-                name,
-                doc: store.doc(),
-                index: Some(store.index()),
-            })
-            .collect();
-        reduce::reduce_bindings_hinted(&self.graph, &bindings, &self.source, true)
+        Ok(self.run_with(store, &RunOptions::default())?.output)
     }
 
-    /// Runs against several opened stores; each `doc("name")` resolves
-    /// to the handle whose [`StoreHandle::name`] matches. Cross-store
-    /// queries collect the referenced stores in parallel.
+    /// Runs against several opened stores, resolved by name.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `run_with(stores, &RunOptions::default())`"
+    )]
     pub fn run_handles(&self, stores: &[StoreHandle]) -> Result<QueryOutput> {
-        let bindings: Vec<DocBinding<'_>> = stores
-            .iter()
-            .map(|s| DocBinding {
-                name: s.name(),
-                doc: s.doc(),
-                index: Some(s.index()),
-            })
-            .collect();
-        reduce::reduce_bindings_hinted(&self.graph, &bindings, &self.source, true)
+        Ok(self.run_with(stores, &RunOptions::default())?.output)
     }
 
-    /// As [`Query::run_handles`] with the per-document fan-out disabled
-    /// (the serial baseline for `BENCH_serve.json`'s parallel section).
+    /// As [`Query::run_handles`] with the per-document fan-out disabled.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `run_with(stores, &RunOptions { parallel: false, .. })`"
+    )]
     pub fn run_handles_serial(&self, stores: &[StoreHandle]) -> Result<QueryOutput> {
-        let bindings: Vec<DocBinding<'_>> = stores
-            .iter()
-            .map(|s| DocBinding {
-                name: s.name(),
-                doc: s.doc(),
-                index: Some(s.index()),
-            })
-            .collect();
-        reduce::reduce_bindings_hinted(&self.graph, &bindings, &self.source, false)
+        let options = RunOptions {
+            parallel: false,
+            ..RunOptions::default()
+        };
+        Ok(self.run_with(stores, &options)?.output)
     }
 
-    /// Like [`Query::run`], but instrumented: also returns the
-    /// [`QueryProfile`] of per-step spans, operation counters, and
-    /// extended-vector cardinalities.
+    /// Like `run`, but instrumented.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `run_with(doc, &RunOptions { profile: true, .. })`"
+    )]
     pub fn run_profiled(&self, doc: &VecDoc) -> Result<(QueryOutput, QueryProfile)> {
-        let docs: Vec<(&str, &VecDoc)> = self
-            .graph
-            .doc_names()
-            .into_iter()
-            .map(|name| (name, doc))
-            .collect();
-        reduce_profiled(&self.graph, &docs, &self.source)
+        let options = RunOptions {
+            profile: true,
+            ..RunOptions::default()
+        };
+        let outcome = self.run_with(doc, &options)?;
+        Ok((outcome.output, outcome.profile.expect("profile requested")))
     }
 
-    /// Like [`Query::run_corpus`], but instrumented (see
-    /// [`Query::run_profiled`]).
+    /// Like `run_corpus`, but instrumented.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `run_with(docs, &RunOptions { profile: true, .. })`"
+    )]
     pub fn run_corpus_profiled(
         &self,
         docs: &[(&str, &VecDoc)],
     ) -> Result<(QueryOutput, QueryProfile)> {
-        reduce_profiled(&self.graph, docs, &self.source)
+        let options = RunOptions {
+            profile: true,
+            ..RunOptions::default()
+        };
+        let outcome = self.run_with(docs, &options)?;
+        Ok((outcome.output, outcome.profile.expect("profile requested")))
     }
 }
 
 /// The result of running a [`Query`].
+// One value exists per query result; the size gap between the variants
+// (`VecDoc` carries its sorted-run side-table inline) never multiplies.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum QueryOutput {
     /// `return $x/p` — the projected text values, as raw bytes (XML text
@@ -342,5 +489,8 @@ fn collect_texts(element: &Element, out: &mut Vec<String>) {
             this shim flattens document outputs to their text values"
 )]
 pub fn run(doc: &VecDoc, query: &str) -> Result<Vec<String>> {
-    Ok(Query::new(query)?.run(doc)?.strings())
+    Ok(Query::new(query)?
+        .run_with(doc, &RunOptions::default())?
+        .output
+        .strings())
 }

@@ -26,7 +26,11 @@
 //! vectorized document, never a DOM.
 
 use crate::graph::{
-    Block, FilterTest, Output, PatStep, PatTest, QueryGraph, RefKind, Template, TplItem,
+    Block, Filter, FilterTest, Join, Output, PatStep, PatTest, QueryGraph, RefKind, Template,
+    TplItem,
+};
+use crate::plan::{
+    choose_strategy, IndexSource, JoinStrategy, Plan, PlanFilter, PlanJoin, PlanVar, RunOptions,
 };
 use crate::profile::{QueryProfile, VarCardinality};
 use crate::{EngineError, QueryOutput, Result};
@@ -67,43 +71,36 @@ fn bindings_of<'a>(docs: &'a [(&'a str, &'a VecDoc)]) -> Vec<DocBinding<'a>> {
 /// the graph mentions must appear in `docs` (first entry wins on
 /// duplicates).
 pub fn reduce(graph: &QueryGraph, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
-    Ok(reduce_inner(graph, &bindings_of(docs), false, "", true)?.0)
+    Ok(reduce_inner(graph, &bindings_of(docs), "", &RunOptions::default())?.0)
 }
 
-/// As [`reduce`], labelling any `VX_LOG` events with `hint` (the query
-/// source). [`crate::Query`] routes through this. `parallel` gates the
-/// per-document fan-out (serial runs exist for A/B benching).
-pub(crate) fn reduce_hinted(
-    graph: &QueryGraph,
-    docs: &[(&str, &VecDoc)],
-    hint: &str,
-    parallel: bool,
-) -> Result<QueryOutput> {
-    Ok(reduce_inner(graph, &bindings_of(docs), false, hint, parallel)?.0)
-}
-
-/// As [`reduce_hinted`], over pre-built bindings (handle-backed runs).
-pub(crate) fn reduce_bindings_hinted(
+/// The one evaluation entry point: everything [`crate::Query::run_with`]
+/// exposes routes through here. `hint` labels `VX_LOG` events (the query
+/// source). Profiled runs always collect serially — per-step spans must
+/// tile the total, which interleaved document passes would break.
+pub(crate) fn reduce_with(
     graph: &QueryGraph,
     docs: &[DocBinding<'_>],
     hint: &str,
-    parallel: bool,
-) -> Result<QueryOutput> {
-    Ok(reduce_inner(graph, docs, false, hint, parallel)?.0)
+    options: &RunOptions,
+) -> Result<(QueryOutput, Option<QueryProfile>)> {
+    reduce_inner(graph, docs, hint, options)
 }
 
 /// Evaluates `graph` with instrumentation on: the returned
 /// [`QueryProfile`] carries per-step spans (which tile the total),
 /// deterministic operation counters, and per-variable extended-vector
 /// cardinalities. `hint` labels the query in `VX_LOG` events.
-/// Profiled runs always collect serially — per-step spans must tile the
-/// total, which interleaved document passes would break.
 pub fn reduce_profiled(
     graph: &QueryGraph,
     docs: &[(&str, &VecDoc)],
     hint: &str,
 ) -> Result<(QueryOutput, QueryProfile)> {
-    let (output, profile) = reduce_inner(graph, &bindings_of(docs), true, hint, false)?;
+    let options = RunOptions {
+        profile: true,
+        ..RunOptions::default()
+    };
+    let (output, profile) = reduce_inner(graph, &bindings_of(docs), hint, &options)?;
     Ok((
         output,
         profile.expect("reduce_inner profiles when asked to"),
@@ -132,11 +129,11 @@ fn fan_out_enabled() -> bool {
 fn reduce_inner(
     graph: &QueryGraph,
     docs: &[DocBinding<'_>],
-    want_profile: bool,
     hint: &str,
-    parallel: bool,
+    options: &RunOptions,
 ) -> Result<(QueryOutput, Option<QueryProfile>)> {
-    let profiling = want_profile || vx_obs::log_enabled();
+    let parallel = options.parallel;
+    let profiling = options.profile || vx_obs::log_enabled();
     let total = Instant::now();
     let mut spans = Spans::new();
     if profiling {
@@ -278,7 +275,12 @@ fn reduce_inner(
         spans.tile(Some("group"));
     }
 
-    let join_index = build_join_indexes(graph, docs, &var_doc, &state);
+    let forced = options.strategy.or_else(|| {
+        std::env::var("VX_PLAN")
+            .ok()
+            .and_then(|s| JoinStrategy::parse(&s))
+    });
+    let plans = plan_execution(graph, docs, &var_doc, &state, forced, options.use_indexes);
     if profiling {
         spans.tile(Some("join-build"));
     }
@@ -289,7 +291,7 @@ fn reduce_inner(
         var_doc: &var_doc,
         state: &state,
         child_occs: &child_occs,
-        join_index,
+        plans,
         profiling,
         tally: EnumTally::default(),
     };
@@ -335,10 +337,7 @@ fn reduce_inner(
     );
     counters.add(
         "join.build.entries",
-        eval.join_index
-            .values()
-            .map(|m| m.values().map(|s| s.len() as u64).sum::<u64>())
-            .sum(),
+        eval.plans.joins.values().map(JoinExec::entries).sum(),
     );
     counters.add("join.probe.hits", eval.tally.probe_hits.get());
     counters.add("join.probe.misses", eval.tally.probe_misses.get());
@@ -913,54 +912,556 @@ struct Eval<'a> {
     /// `[var][parent occ]` → candidate occurrences (empty outer Vec for
     /// document-rooted variables, whose candidates are all occurrences).
     child_occs: &'a [Vec<Vec<usize>>],
-    /// Hash-join indexes keyed by build-side reference: value bytes →
-    /// occurrences of the build variable carrying that value.
-    join_index: HashMap<usize, HashMap<Vec<u8>, HashSet<usize>>>,
+    /// Per-join execution plans and index-resolved literal filters.
+    plans: ExecPlans<'a>,
     /// Whether to take output-emission timestamps (counters are always
     /// live; only `Instant` calls are gated).
     profiling: bool,
     tally: EnumTally,
 }
 
-/// Pre-builds the hash index for every join edge's build side (the side
-/// bound last during enumeration, per [`crate::Join::ready_at`]).
-fn build_join_indexes(
-    graph: &QueryGraph,
-    docs: &[DocBinding<'_>],
-    var_doc: &[usize],
+/// Everything the planner pre-builds before enumeration.
+struct ExecPlans<'a> {
+    /// Keyed by `(build ref, probe ref)` — the side bound last during
+    /// enumeration (per [`crate::Join::ready_at`]) and the side probed.
+    joins: HashMap<(usize, usize), JoinExec<'a>>,
+    /// `Eq` filters resolved through a persistent value index as point
+    /// lookups: `(ref, literal, occurrences passing — sorted)`. A vec
+    /// because there are at most a handful per query and tuple-keyed
+    /// map lookups would tie the probe literal's lifetime to the plan's.
+    eq_filters: Vec<(usize, &'a str, Vec<usize>)>,
+}
+
+/// One planned join edge.
+struct JoinExec<'a> {
+    data: JoinData<'a>,
+}
+
+enum JoinData<'a> {
+    /// Value bytes → occurrences of the build variable carrying that
+    /// value. The pre-0.3 path, byte- and counter-identical to it.
+    Hash(HashMap<Vec<u8>, HashSet<usize>>),
+    /// The build side's `(value, occurrence)` run, value-ascending —
+    /// probed by binary search (index-nested-loop).
+    BuildRun(Vec<(&'a [u8], usize)>),
+    /// Sort-merge, fully materialized: probe occurrence → matching
+    /// build occurrences (sorted, deduplicated). `build_values` keeps
+    /// the `join.build.entries` counter meaningful.
+    Matched {
+        lists: Vec<Vec<usize>>,
+        build_values: u64,
+    },
+}
+
+impl JoinExec<'_> {
+    /// The `join.build.entries` contribution: hash-table entry count or
+    /// sorted-run length.
+    fn entries(&self) -> u64 {
+        match &self.data {
+            JoinData::Hash(index) => index.values().map(|s| s.len() as u64).sum(),
+            JoinData::BuildRun(run) => run.len() as u64,
+            JoinData::Matched { build_values, .. } => *build_values,
+        }
+    }
+}
+
+/// A probe result: the build-side occurrences matching the current
+/// tuple, in whichever shape the strategy produced.
+enum Matched<'e> {
+    /// Unordered (hash strategy) — membership-checked per candidate.
+    Set(HashSet<usize>),
+    /// Sorted ascending, deduplicated — intersected by two pointers.
+    List(Vec<usize>),
+    /// Borrowed sorted list (sort-merge lookups).
+    Slice(&'e [usize]),
+}
+
+impl Matched<'_> {
+    fn as_slice(&self) -> &[usize] {
+        match self {
+            Matched::List(v) => v,
+            Matched::Slice(s) => s,
+            Matched::Set(_) => unreachable!("sorted access to a hash-matched set"),
+        }
+    }
+}
+
+/// Intersects two probe results, preferring sorted output unless both
+/// sides are hash sets (the pre-0.3 shape).
+fn intersect_matched<'e>(a: Matched<'e>, b: Matched<'e>) -> Matched<'e> {
+    match (a, b) {
+        (Matched::Set(x), Matched::Set(y)) => Matched::Set(x.intersection(&y).copied().collect()),
+        (Matched::Set(s), other) | (other, Matched::Set(s)) => Matched::List(
+            other
+                .as_slice()
+                .iter()
+                .copied()
+                .filter(|occ| s.contains(occ))
+                .collect(),
+        ),
+        (x, y) => {
+            let (a, b) = (x.as_slice(), y.as_slice());
+            let mut out = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            Matched::List(out)
+        }
+    }
+}
+
+/// The build and probe references of a join that becomes checkable at
+/// binding position `pos` of `block`.
+fn join_sides(graph: &QueryGraph, block: &Block, join: &Join, pos: usize) -> (usize, usize) {
+    let at_var = block.vars[pos];
+    if graph.refs[join.left].var == at_var {
+        (join.left, join.right)
+    } else {
+        (join.right, join.left)
+    }
+}
+
+/// Total text values a reference collected across all occurrences of
+/// its variable — the planner's exact cardinality.
+fn ref_value_count(state: &State, r: usize, occs: usize) -> u64 {
+    (0..occs).map(|occ| state.values(r, occ).len() as u64).sum()
+}
+
+/// The single vector all of `r`'s values come from, if its document
+/// holds a persistent sorted run for it. Multi-vector references (a
+/// `//` pattern matching several paths) fall back to query-time sorts.
+fn persistent_vector_of(doc: &VecDoc, state: &State, r: usize, occs: usize) -> Option<usize> {
+    let mut vec_idx: Option<usize> = None;
+    for occ in 0..occs {
+        for &(vec, _) in state.values(r, occ) {
+            match vec_idx {
+                None => vec_idx = Some(vec),
+                Some(prev) if prev == vec => {}
+                Some(_) => return None,
+            }
+        }
+    }
+    vec_idx.filter(|&v| doc.sorted_run(v).is_some())
+}
+
+/// `vector position → owning occurrence` for a single-vector reference
+/// (`usize::MAX` where no occurrence references the position).
+fn occ_of_positions(state: &State, r: usize, occs: usize, len: usize) -> Vec<usize> {
+    let mut map = vec![usize::MAX; len];
+    for occ in 0..occs {
+        for &(_, idx) in state.values(r, occ) {
+            map[idx] = occ;
+        }
+    }
+    map
+}
+
+/// Builds the `(value, occurrence)` run of a reference, value-ascending.
+/// Reuses the persistent `.vec` value index when the reference is
+/// single-vector and one was loaded (O(n) remap); otherwise sorts the
+/// collected pairs at query time. Returns whether the persistent run
+/// was used.
+fn sorted_run_for<'a>(
+    doc: &'a VecDoc,
     state: &State,
-) -> HashMap<usize, HashMap<Vec<u8>, HashSet<usize>>> {
-    let mut out: HashMap<usize, HashMap<Vec<u8>, HashSet<usize>>> = HashMap::new();
+    r: usize,
+    occs: usize,
+    use_persistent: bool,
+) -> (Vec<(&'a [u8], usize)>, bool) {
+    if use_persistent {
+        if let Some(vec_idx) = persistent_vector_of(doc, state, r, occs) {
+            let order = doc
+                .sorted_run(vec_idx)
+                .expect("checked by persistent_vector_of");
+            let values = &doc.vectors()[vec_idx].values;
+            let occ_of = occ_of_positions(state, r, occs, values.len());
+            let run = order
+                .iter()
+                .filter_map(|&pos| {
+                    let occ = occ_of[pos as usize];
+                    (occ != usize::MAX).then(|| (values[pos as usize].as_slice(), occ))
+                })
+                .collect();
+            return (run, true);
+        }
+    }
+    let mut run: Vec<(&[u8], usize)> = Vec::new();
+    for occ in 0..occs {
+        for &(vec, idx) in state.values(r, occ) {
+            run.push((doc.vectors()[vec].values[idx].as_slice(), occ));
+        }
+    }
+    run.sort_unstable_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(&b.1)));
+    (run, false)
+}
+
+/// The pre-0.3 hash build: value bytes → occurrences of the build
+/// variable carrying that value.
+fn hash_build(
+    doc: &VecDoc,
+    state: &State,
+    build: usize,
+    occs: usize,
+) -> HashMap<Vec<u8>, HashSet<usize>> {
+    let mut index: HashMap<Vec<u8>, HashSet<usize>> = HashMap::new();
+    for occ in 0..occs {
+        for &(vec, idx) in state.values(build, occ) {
+            index
+                .entry(doc.vectors()[vec].values[idx].clone())
+                .or_default()
+                .insert(occ);
+        }
+    }
+    index
+}
+
+/// Merges two value-sorted runs into per-probe-occurrence match lists.
+fn merge_runs(
+    probe_run: &[(&[u8], usize)],
+    build_run: &[(&[u8], usize)],
+    probe_occs: usize,
+) -> Vec<Vec<usize>> {
+    let mut lists: Vec<Vec<usize>> = vec![Vec::new(); probe_occs];
+    let (mut i, mut j) = (0, 0);
+    while i < probe_run.len() && j < build_run.len() {
+        match probe_run[i].0.cmp(build_run[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let value = probe_run[i].0;
+                let i_end = i + probe_run[i..]
+                    .iter()
+                    .take_while(|(v, _)| *v == value)
+                    .count();
+                let j_end = j + build_run[j..]
+                    .iter()
+                    .take_while(|(v, _)| *v == value)
+                    .count();
+                for &(_, probe_occ) in &probe_run[i..i_end] {
+                    for &(_, build_occ) in &build_run[j..j_end] {
+                        lists[probe_occ].push(build_occ);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    for list in &mut lists {
+        list.sort_unstable();
+        list.dedup();
+    }
+    lists
+}
+
+/// The planner pass: walks every block, picks a strategy per planned
+/// join edge from exact post-collection cardinalities, and builds its
+/// execution data. Also resolves `Eq` filters through persistent value
+/// indexes as point lookups where possible.
+fn plan_execution<'a>(
+    graph: &'a QueryGraph,
+    docs: &'a [DocBinding<'a>],
+    var_doc: &[usize],
+    state: &'a State,
+    forced: Option<JoinStrategy>,
+    use_indexes: bool,
+) -> ExecPlans<'a> {
+    let mut joins: HashMap<(usize, usize), JoinExec<'a>> = HashMap::new();
+    let mut eq_filters: Vec<(usize, &'a str, Vec<usize>)> = Vec::new();
     let mut stack: Vec<&Block> = vec![&graph.block];
     while let Some(block) = stack.pop() {
         for join in &block.joins {
             let Some(pos) = join.ready_at else { continue };
-            let at_var = block.vars[pos];
-            let build = if graph.refs[join.left].var == at_var {
-                join.left
-            } else {
-                join.right
-            };
-            out.entry(build).or_insert_with(|| {
-                let var = graph.refs[build].var;
-                let doc = docs[var_doc[var]].doc;
-                let mut index: HashMap<Vec<u8>, HashSet<usize>> = HashMap::new();
-                for occ in 0..state.occ_parent[var].len() {
-                    for &(vec, idx) in state.values(build, occ) {
-                        index
-                            .entry(doc.vectors()[vec].values[idx].clone())
-                            .or_default()
-                            .insert(occ);
+            let (build, probe) = join_sides(graph, block, join, pos);
+            if joins.contains_key(&(build, probe)) {
+                continue;
+            }
+            let build_var = graph.refs[build].var;
+            let probe_var = graph.refs[probe].var;
+            let build_doc = docs[var_doc[build_var]].doc;
+            let probe_doc = docs[var_doc[probe_var]].doc;
+            let build_occs = state.occ_parent[build_var].len();
+            let probe_occs = state.occ_parent[probe_var].len();
+            let build_values = ref_value_count(state, build, build_occs);
+            let probe_values = ref_value_count(state, probe, probe_occs);
+            let has_index = persistent_vector_of(build_doc, state, build, build_occs).is_some();
+            let strategy =
+                choose_strategy(forced, use_indexes, has_index, probe_values, build_values);
+            let data = match strategy {
+                JoinStrategy::Hash => {
+                    JoinData::Hash(hash_build(build_doc, state, build, build_occs))
+                }
+                JoinStrategy::IndexNestedLoop => {
+                    let (run, _) = sorted_run_for(build_doc, state, build, build_occs, use_indexes);
+                    JoinData::BuildRun(run)
+                }
+                JoinStrategy::SortMerge => {
+                    let (build_run, _) =
+                        sorted_run_for(build_doc, state, build, build_occs, use_indexes);
+                    let (probe_run, _) =
+                        sorted_run_for(probe_doc, state, probe, probe_occs, use_indexes);
+                    JoinData::Matched {
+                        lists: merge_runs(&probe_run, &build_run, probe_occs),
+                        build_values: build_run.len() as u64,
                     }
                 }
-                index
-            });
+            };
+            joins.insert((build, probe), JoinExec { data });
+        }
+        for filter in &block.filters {
+            if filter.ready_at.is_none() || !use_indexes {
+                continue;
+            }
+            let FilterTest::Eq(r, lit) = &filter.test else {
+                continue;
+            };
+            if eq_filters
+                .iter()
+                .any(|(er, elit, _)| *er == *r && *elit == lit.as_str())
+            {
+                continue;
+            }
+            let var = graph.refs[*r].var;
+            let doc = docs[var_doc[var]].doc;
+            let occs = state.occ_parent[var].len();
+            let Some(vec_idx) = persistent_vector_of(doc, state, *r, occs) else {
+                continue;
+            };
+            let order = doc
+                .sorted_run(vec_idx)
+                .expect("checked by persistent_vector_of");
+            let values = &doc.vectors()[vec_idx].values;
+            let occ_of = occ_of_positions(state, *r, occs, values.len());
+            let target = lit.as_bytes();
+            let lo = order.partition_point(|&pos| values[pos as usize].as_slice() < target);
+            let mut passing: Vec<usize> = order[lo..]
+                .iter()
+                .take_while(|&&pos| values[pos as usize].as_slice() == target)
+                .map(|&pos| occ_of[pos as usize])
+                .filter(|&occ| occ != usize::MAX)
+                .collect();
+            passing.sort_unstable();
+            passing.dedup();
+            eq_filters.push((*r, lit.as_str(), passing));
         }
         if let Output::Document(tpl) = &block.output {
             push_template_blocks(tpl, &mut stack);
         }
     }
+    ExecPlans { joins, eq_filters }
+}
+
+/// Renders a step path as `/a//b/*`.
+fn render_steps(steps: &[PatStep]) -> String {
+    let mut out = String::new();
+    for step in steps {
+        out.push_str(if step.descend { "//" } else { "/" });
+        match &step.test {
+            PatTest::Name(n) => out.push_str(n),
+            PatTest::Any => out.push('*'),
+        }
+    }
     out
+}
+
+/// `$var/path` label for a value reference.
+fn ref_label(graph: &QueryGraph, r: usize) -> String {
+    format!(
+        "${}{}",
+        graph.vars[graph.refs[r].var].name,
+        render_steps(&graph.refs[r].steps)
+    )
+}
+
+/// Builds the [`Plan`] for `graph` over `docs`: runs collection (the
+/// one skeleton pass — enumeration never starts), then reports exactly
+/// the strategy the planner would pick per join edge and which literal
+/// filters resolve through value indexes.
+pub(crate) fn explain_with(
+    graph: &QueryGraph,
+    docs: &[DocBinding<'_>],
+    options: &RunOptions,
+) -> Result<Plan> {
+    let mut doc_of_name: HashMap<&str, usize> = HashMap::new();
+    for (i, binding) in docs.iter().enumerate() {
+        doc_of_name.entry(binding.name).or_insert(i);
+    }
+    for name in graph.doc_names() {
+        if !doc_of_name.contains_key(name) {
+            return Err(EngineError::UnknownDocument(name.to_string()));
+        }
+    }
+    let mut var_doc: Vec<usize> = Vec::with_capacity(graph.vars.len());
+    for var in &graph.vars {
+        let d = match (&var.doc, var.parent) {
+            (Some(name), _) => doc_of_name[name.as_str()],
+            (None, Some(p)) => var_doc[p],
+            (None, None) => {
+                return Err(EngineError::Corrupt(
+                    "variable with neither document nor parent root".into(),
+                ))
+            }
+        };
+        var_doc.push(d);
+    }
+    let mut var_children: Vec<Vec<usize>> = vec![Vec::new(); graph.vars.len()];
+    for (v, var) in graph.vars.iter().enumerate() {
+        if let Some(p) = var.parent {
+            var_children[p].push(v);
+        }
+    }
+    let mut refs_of_var: Vec<Vec<usize>> = vec![Vec::new(); graph.vars.len()];
+    for (r, vref) in graph.refs.iter().enumerate() {
+        refs_of_var[vref.var].push(r);
+    }
+    let mut state = State::new(graph);
+    let mut tally = WalkTally::default();
+    let referenced: Vec<usize> = (0..docs.len()).filter(|i| var_doc.contains(i)).collect();
+    for &doc_idx in &referenced {
+        collect_doc(
+            graph,
+            docs[doc_idx].doc,
+            docs[doc_idx].index,
+            doc_idx,
+            &var_doc,
+            &var_children,
+            &refs_of_var,
+            &mut state,
+            &mut tally,
+        )?;
+    }
+    state.flatten_values();
+
+    let forced = options.strategy.or_else(|| {
+        std::env::var("VX_PLAN")
+            .ok()
+            .and_then(|s| JoinStrategy::parse(&s))
+    });
+
+    let variables = graph
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(v, var)| PlanVar {
+            name: var.name.clone(),
+            root: match (&var.doc, var.parent) {
+                (Some(name), _) => format!("doc(\"{name}\")"),
+                (None, Some(p)) => format!("${}", graph.vars[p].name),
+                (None, None) => String::new(),
+            },
+            path: render_steps(&var.steps),
+            occurrences: state.occ_parent[v].len() as u64,
+        })
+        .collect();
+
+    let mut joins = Vec::new();
+    let mut filters = Vec::new();
+    let mut stack: Vec<&Block> = vec![&graph.block];
+    while let Some(block) = stack.pop() {
+        for join in &block.joins {
+            match join.ready_at {
+                None => joins.push(PlanJoin {
+                    probe: ref_label(graph, join.left),
+                    build: ref_label(graph, join.right),
+                    strategy: JoinStrategy::Hash,
+                    index: IndexSource::None,
+                    probe_values: 0,
+                    build_values: 0,
+                    planned: false,
+                }),
+                Some(pos) => {
+                    let (build, probe) = join_sides(graph, block, join, pos);
+                    let build_var = graph.refs[build].var;
+                    let probe_var = graph.refs[probe].var;
+                    let build_doc = docs[var_doc[build_var]].doc;
+                    let probe_doc = docs[var_doc[probe_var]].doc;
+                    let build_occs = state.occ_parent[build_var].len();
+                    let probe_occs = state.occ_parent[probe_var].len();
+                    let build_values = ref_value_count(&state, build, build_occs);
+                    let probe_values = ref_value_count(&state, probe, probe_occs);
+                    let build_persistent =
+                        persistent_vector_of(build_doc, &state, build, build_occs).is_some();
+                    let strategy = choose_strategy(
+                        forced,
+                        options.use_indexes,
+                        build_persistent,
+                        probe_values,
+                        build_values,
+                    );
+                    let index = match strategy {
+                        JoinStrategy::Hash => IndexSource::None,
+                        JoinStrategy::IndexNestedLoop => {
+                            if options.use_indexes && build_persistent {
+                                IndexSource::Persistent
+                            } else {
+                                IndexSource::QuerySort
+                            }
+                        }
+                        JoinStrategy::SortMerge => {
+                            let probe_persistent =
+                                persistent_vector_of(probe_doc, &state, probe, probe_occs)
+                                    .is_some();
+                            if options.use_indexes && build_persistent && probe_persistent {
+                                IndexSource::Persistent
+                            } else {
+                                IndexSource::QuerySort
+                            }
+                        }
+                    };
+                    joins.push(PlanJoin {
+                        probe: ref_label(graph, probe),
+                        build: ref_label(graph, build),
+                        strategy,
+                        index,
+                        probe_values,
+                        build_values,
+                        planned: true,
+                    });
+                }
+            }
+        }
+        for filter in &block.filters {
+            let (test, indexed) = match &filter.test {
+                FilterTest::Exists(r) => (format!("exists({})", ref_label(graph, *r)), false),
+                FilterTest::Eq(r, lit) => {
+                    let var = graph.refs[*r].var;
+                    let doc = docs[var_doc[var]].doc;
+                    let occs = state.occ_parent[var].len();
+                    let indexed = filter.ready_at.is_some()
+                        && options.use_indexes
+                        && persistent_vector_of(doc, &state, *r, occs).is_some();
+                    (format!("{} = {lit:?}", ref_label(graph, *r)), indexed)
+                }
+                FilterTest::PathPair(a, b) => (
+                    format!("{} = {}", ref_label(graph, *a), ref_label(graph, *b)),
+                    false,
+                ),
+            };
+            filters.push(PlanFilter { test, indexed });
+        }
+        if let Output::Document(tpl) = &block.output {
+            push_template_blocks(tpl, &mut stack);
+        }
+    }
+
+    Ok(Plan {
+        variables,
+        joins,
+        filters,
+        output: match &graph.block.output {
+            Output::Values(_) => "values",
+            Output::Document(_) => "document",
+        },
+    })
 }
 
 fn push_template_blocks<'g>(tpl: &'g Template, stack: &mut Vec<&'g Block>) {
@@ -1050,60 +1551,188 @@ impl Eval<'_> {
         }
         let var = block.vars[pos];
 
-        // Hash-probe every join that becomes checkable at this binding:
-        // the set of build-side occurrences matching some probe value.
-        let mut allowed: Option<HashSet<usize>> = None;
+        // Probe every join that becomes checkable at this binding — each
+        // yields the build-side occurrences matching the current tuple,
+        // in the strategy's shape (hash set or sorted list).
+        let mut allowed: Option<Matched<'_>> = None;
         for join in &block.joins {
             if join.ready_at != Some(pos) {
                 continue;
             }
-            let (build, probe) = if self.graph.refs[join.left].var == var {
-                (join.left, join.right)
-            } else {
-                (join.right, join.left)
-            };
-            let index = &self.join_index[&build];
+            let (build, probe) = join_sides(self.graph, block, join, pos);
             let probe_occ = env[self.graph.refs[probe].var];
-            let mut matched: HashSet<usize> = HashSet::new();
-            for value in self.ref_bytes(probe, probe_occ) {
-                if let Some(occs) = index.get(value) {
-                    bump(&self.tally.probe_hits);
-                    matched.extend(occs);
-                } else {
-                    bump(&self.tally.probe_misses);
-                }
-            }
+            let matched = self.probe_join(build, probe, probe_occ);
             allowed = Some(match allowed {
                 None => matched,
-                Some(prev) => prev.intersection(&matched).copied().collect(),
+                Some(prev) => intersect_matched(prev, matched),
             });
         }
+        // Index-resolved literal filters narrow the same way joins do,
+        // instead of being re-checked per occurrence below.
+        for filter in &block.filters {
+            if filter.ready_at != Some(pos) {
+                continue;
+            }
+            if let Some(passing) = self.indexed_eq(filter) {
+                let narrowed = Matched::Slice(passing);
+                allowed = Some(match allowed {
+                    None => narrowed,
+                    Some(prev) => intersect_matched(prev, narrowed),
+                });
+            }
+        }
 
-        let all: Vec<usize>;
-        let candidates: &[usize] = match self.graph.vars[var].parent {
-            Some(p) => &self.child_occs[var][env[p]],
-            None => {
-                all = (0..self.state.occ_parent[var].len()).collect();
-                &all
-            }
-        };
-        'occs: for &occ in candidates {
-            if let Some(allowed) = &allowed {
-                if !allowed.contains(&occ) {
-                    continue;
+        // Candidate occurrences: the parent's children when nested, every
+        // occurrence when document-rooted. The doc-rooted range is never
+        // materialized — `bind` runs once per enclosing tuple, and an
+        // O(occurrences) allocation per probe would itself re-create the
+        // quadratic cliff the planner removes.
+        let parent = self.graph.vars[var].parent;
+        match allowed {
+            None => match parent {
+                Some(p) => {
+                    for &occ in &self.child_occs[var][env[p]] {
+                        self.bind_occ(block, pos, var, occ, env, sink)?;
+                    }
+                }
+                None => {
+                    for occ in 0..self.state.occ_parent[var].len() {
+                        self.bind_occ(block, pos, var, occ, env, sink)?;
+                    }
+                }
+            },
+            Some(Matched::Set(set)) => {
+                // The pre-0.3 shape: scan candidates, membership-check.
+                match parent {
+                    Some(p) => {
+                        for &occ in &self.child_occs[var][env[p]] {
+                            if set.contains(&occ) {
+                                self.bind_occ(block, pos, var, occ, env, sink)?;
+                            }
+                        }
+                    }
+                    None => {
+                        for occ in 0..self.state.occ_parent[var].len() {
+                            if set.contains(&occ) {
+                                self.bind_occ(block, pos, var, occ, env, sink)?;
+                            }
+                        }
+                    }
                 }
             }
-            // Selections first: literal filters on this variable.
-            for filter in &block.filters {
-                if filter.ready_at == Some(pos) && !self.filter_passes(&filter.test, occ) {
-                    continue 'occs;
+            Some(matched) => {
+                let list = matched.as_slice();
+                match parent {
+                    None => {
+                        // Document-rooted: candidates are all occurrences,
+                        // so the sorted match list IS the candidate list —
+                        // this is what removes the per-probe full scan.
+                        for &occ in list {
+                            self.bind_occ(block, pos, var, occ, env, sink)?;
+                        }
+                    }
+                    Some(p) => {
+                        let candidates = &self.child_occs[var][env[p]];
+                        let (mut ci, mut li) = (0, 0);
+                        while ci < candidates.len() && li < list.len() {
+                            match candidates[ci].cmp(&list[li]) {
+                                std::cmp::Ordering::Less => ci += 1,
+                                std::cmp::Ordering::Greater => li += 1,
+                                std::cmp::Ordering::Equal => {
+                                    self.bind_occ(block, pos, var, candidates[ci], env, sink)?;
+                                    ci += 1;
+                                    li += 1;
+                                }
+                            }
+                        }
+                    }
                 }
             }
-            env[var] = occ;
-            self.bind(block, pos + 1, env, sink)?;
         }
         env[var] = usize::MAX;
         Ok(())
+    }
+
+    /// Binds one surviving occurrence: selections first (literal filters
+    /// not already resolved through an index), then recurse.
+    fn bind_occ(
+        &self,
+        block: &Block,
+        pos: usize,
+        var: usize,
+        occ: usize,
+        env: &mut Vec<usize>,
+        sink: &mut Sink<'_>,
+    ) -> Result<()> {
+        for filter in &block.filters {
+            if filter.ready_at == Some(pos)
+                && self.indexed_eq(filter).is_none()
+                && !self.filter_passes(&filter.test, occ)
+            {
+                return Ok(());
+            }
+        }
+        env[var] = occ;
+        self.bind(block, pos + 1, env, sink)
+    }
+
+    /// The occurrences passing `filter` when it is an `Eq` the planner
+    /// resolved through a persistent value index.
+    fn indexed_eq(&self, filter: &Filter) -> Option<&[usize]> {
+        match &filter.test {
+            FilterTest::Eq(r, lit) => self
+                .plans
+                .eq_filters
+                .iter()
+                .find(|(er, elit, _)| er == r && *elit == lit.as_str())
+                .map(|(_, _, passing)| passing.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Probes one planned join for the current tuple.
+    fn probe_join(&self, build: usize, probe: usize, probe_occ: usize) -> Matched<'_> {
+        let exec = &self.plans.joins[&(build, probe)];
+        match &exec.data {
+            JoinData::Hash(index) => {
+                let mut matched: HashSet<usize> = HashSet::new();
+                for value in self.ref_bytes(probe, probe_occ) {
+                    if let Some(occs) = index.get(value) {
+                        bump(&self.tally.probe_hits);
+                        matched.extend(occs);
+                    } else {
+                        bump(&self.tally.probe_misses);
+                    }
+                }
+                Matched::Set(matched)
+            }
+            JoinData::BuildRun(run) => {
+                let mut matched: Vec<usize> = Vec::new();
+                for value in self.ref_bytes(probe, probe_occ) {
+                    let lo = run.partition_point(|&(v, _)| v < value);
+                    let matches = run[lo..].iter().take_while(|&&(v, _)| v == value);
+                    let before = matched.len();
+                    matched.extend(matches.map(|&(_, occ)| occ));
+                    if matched.len() > before {
+                        bump(&self.tally.probe_hits);
+                    } else {
+                        bump(&self.tally.probe_misses);
+                    }
+                }
+                matched.sort_unstable();
+                matched.dedup();
+                Matched::List(matched)
+            }
+            JoinData::Matched { lists, .. } => {
+                let list = lists.get(probe_occ).map_or(&[] as &[usize], Vec::as_slice);
+                if list.is_empty() {
+                    bump(&self.tally.probe_misses);
+                } else {
+                    bump(&self.tally.probe_hits);
+                }
+                Matched::Slice(list)
+            }
+        }
     }
 
     fn emit(&self, output: &Output, env: &mut Vec<usize>, sink: &mut Sink<'_>) -> Result<()> {

@@ -4,10 +4,13 @@
 //!
 //! The attribution check reproduces the paper's SQ3 observation at test
 //! scale: a self-join over SkyServer `PhotoObj` rows spends its time
-//! enumerating join tuples, not walking the skeleton. `VX_SQ3_ROWS`
-//! scales the corpus (default 2000 — sized for debug-build test runs).
+//! enumerating join tuples, not walking the skeleton — *when the store
+//! has no value index* (in-memory documents, the pre-0.3 world). The
+//! companion check below shows the cliff gone once a version-3 store
+//! gives the planner sorted runs. `VX_SQ3_ROWS` scales the corpus
+//! (default 2000 — sized for debug-build test runs).
 
-use vx_engine::{Query, QueryProfile};
+use vx_engine::{Query, QueryProfile, RunOptions};
 
 const SQ3: &str = r#"for $a in doc("ss")//PhotoObj, $b in doc("ss")//PhotoObj
    where $a/objID = $b/objID return $b/ra"#;
@@ -16,16 +19,28 @@ fn skyserver_vec(rows: usize) -> vx_core::VecDoc {
     vx_core::vectorize(&vx_data::skyserver(42, rows)).unwrap()
 }
 
+fn profiled() -> RunOptions {
+    RunOptions {
+        profile: true,
+        ..RunOptions::default()
+    }
+}
+
 fn run_sq3(rows: usize) -> (Vec<String>, QueryProfile) {
     let doc = skyserver_vec(rows);
     let q = Query::new(SQ3).unwrap();
-    let (out, profile) = q.run_profiled(&doc).unwrap();
-    (out.strings(), profile)
+    let outcome = q.run_with(&doc, &profiled()).unwrap();
+    (
+        outcome.output.strings(),
+        outcome.profile.expect("profile requested"),
+    )
 }
 
-/// SQ3's cost is the join: build + tuple enumeration + output account
-/// for at least 80% of the engine's measured time, and every row joins
-/// with itself exactly once (objID is a key).
+/// Without an index, SQ3's cost is the join: build + tuple enumeration +
+/// output account for at least 80% of the engine's measured time, and
+/// every row joins with itself exactly once (objID is a key). In-memory
+/// documents carry no persistent run, so the planner hash-joins — this
+/// is the pre-0.3 cliff, preserved as the baseline.
 #[test]
 fn sq3_time_is_attributed_to_the_join() {
     let rows = std::env::var("VX_SQ3_ROWS")
@@ -51,6 +66,45 @@ fn sq3_time_is_attributed_to_the_join() {
     assert!(profile.counters.get("join.probe.hits") >= rows as u64);
 }
 
+/// After the fix: over a `Compaction::Auto` store the `objID` vector
+/// carries a version-3 value index, the planner sort-merges the
+/// self-join, and the join phases fall under half the measured time —
+/// the quadratic candidate scan is gone.
+#[test]
+fn sq3_join_share_drops_under_half_with_value_index() {
+    use vx_core::{Compaction, Store, StoreHandle};
+
+    let rows = std::env::var("VX_SQ3_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    let dir = std::env::temp_dir().join(format!("vx-profile-ss-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::save(&dir.join("ss"), &skyserver_vec(rows), Compaction::Auto).unwrap();
+    let handle = StoreHandle::open(&dir.join("ss")).unwrap();
+
+    let q = Query::new(SQ3).unwrap();
+    let outcome = q.run_with(&handle, &profiled()).unwrap();
+    let profile = outcome.profile.expect("profile requested");
+    assert_eq!(
+        outcome.output.strings().len(),
+        rows,
+        "objID is a key: one tuple per row"
+    );
+
+    let join_secs = profile.step_secs("join-build")
+        + profile.step_secs("enumerate")
+        + profile.step_secs("output");
+    let total = profile.steps_total();
+    assert!(total > 0.0);
+    assert!(
+        join_secs < 0.5 * total,
+        "join phases {join_secs:.4}s of {total:.4}s ({:.1}%) — expected < 50% with the index",
+        100.0 * join_secs / total
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Instrumentation is observation only: profiled and unprofiled runs
 /// return identical output, and the profile's bookkeeping is coherent
 /// (steps tile the total, variables carry the match cardinalities).
@@ -58,9 +112,10 @@ fn sq3_time_is_attributed_to_the_join() {
 fn profiling_does_not_change_answers() {
     let doc = skyserver_vec(300);
     let q = Query::new(SQ3).unwrap();
-    let plain = q.run(&doc).unwrap();
-    let (profiled, profile) = q.run_profiled(&doc).unwrap();
-    assert_eq!(plain.strings(), profiled.strings());
+    let plain = q.run_with(&doc, &RunOptions::default()).unwrap().output;
+    let outcome = q.run_with(&doc, &profiled()).unwrap();
+    let profile = outcome.profile.expect("profile requested");
+    assert_eq!(plain.strings(), outcome.output.strings());
 
     let sum = profile.steps_total();
     assert!(

@@ -111,6 +111,16 @@ impl Pager {
             }
             filled += n;
         }
+        if filled < PAGE_SIZE && vx_obs::log_enabled() {
+            vx_obs::event(
+                "pager.partial_tail_page",
+                &[
+                    ("page", vx_obs::Value::U64(page)),
+                    ("filled_bytes", vx_obs::Value::U64(filled as u64)),
+                    ("page_size", vx_obs::Value::U64(PAGE_SIZE as u64)),
+                ],
+            );
+        }
         let frame = Frame {
             page,
             data,
@@ -262,6 +272,72 @@ mod tests {
         assert_eq!(pager.with_page(0, |d| d[7]).unwrap(), 42);
         pager.unpin(0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Child half of `partial_tail_page_event_is_logged`: loads the short
+    /// final page of a file whose length is not a page multiple. Run via
+    /// re-exec so the parent controls `VX_LOG` (the sink latches the
+    /// environment once per process).
+    #[test]
+    #[ignore]
+    fn partial_tail_child() {
+        let path = temp_path("tail-child");
+        std::fs::write(&path, vec![7u8; PAGE_SIZE + 100]).unwrap();
+        let mut pager = Pager::open(&path, 2).unwrap();
+        assert_eq!(pager.page_count(), 2);
+        // The tail page has 100 real bytes; the rest must be zero-filled.
+        let (head, pad) = pager.with_page(1, |d| (d[99], d[100])).unwrap();
+        assert_eq!((head, pad), (7, 0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A short tail page is salvage-tolerated but observable: with
+    /// `VX_LOG=<file>` the load emits one `pager.partial_tail_page` event
+    /// recording how many bytes were really on disk; with `VX_LOG` unset
+    /// the same load is completely silent.
+    #[test]
+    fn partial_tail_page_event_is_logged() {
+        let exe = std::env::current_exe().unwrap();
+        let child = |log: Option<&std::path::Path>| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(["--exact", "pager::tests::partial_tail_child", "--ignored"]);
+            match log {
+                Some(log) => cmd.env("VX_LOG", log),
+                None => cmd.env_remove("VX_LOG"),
+            };
+            let out = cmd.output().unwrap();
+            assert!(
+                out.status.success(),
+                "child failed\nstdout: {}\nstderr: {}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            out
+        };
+
+        let log = temp_path("tail-events.jsonl");
+        let _ = std::fs::remove_file(&log);
+        child(Some(&log));
+        let text = std::fs::read_to_string(&log).unwrap();
+        let tail_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"pager.partial_tail_page\""))
+            .collect();
+        assert_eq!(tail_lines.len(), 1, "events: {text}");
+        assert!(
+            tail_lines[0].contains("\"page\":1")
+                && tail_lines[0].contains("\"filled_bytes\":100")
+                && tail_lines[0].contains(&format!("\"page_size\":{PAGE_SIZE}")),
+            "unexpected event shape: {}",
+            tail_lines[0]
+        );
+        let _ = std::fs::remove_file(&log);
+
+        let out = child(None);
+        assert!(
+            !String::from_utf8_lossy(&out.stderr).contains("partial_tail_page"),
+            "VX_LOG unset must mean silence"
+        );
     }
 
     #[test]

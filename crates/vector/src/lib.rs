@@ -13,9 +13,15 @@
 //!     varint dict_len
 //!     dict_len × ( varint byte_len, raw bytes )   -- first-occurrence order
 //!     count × u8 code                             -- fixed width, no skip
-//! -- both:
+//! -- version 3 (plain + persistent value index):
+//!     record*            -- as version 1
+//!     varint count       -- value index: record positions sorted by
+//!     count × u32le pos  --   (value bytes asc, position asc)
+//!     skip*              -- as version 1
+//! -- all:
 //!     u64le data_end     -- file offset where the record/code stream ends
-//!     u64le skip_start   -- == data_end (skip index follows data directly)
+//!     u64le skip_start   -- == data_end for v1/v2; v3's value index
+//!                        --   occupies [data_end, skip_start)
 //!     u64le record_count
 //!     "VXVE"
 //! ```
@@ -29,7 +35,7 @@
 mod format;
 mod spill;
 
-pub use format::{Cursor, CursorStats, Vector, VectorStats, Writer, SKIP_STRIDE};
+pub use format::{Cursor, CursorStats, Vector, VectorStats, Writer, INDEX_MIN_COUNT, SKIP_STRIDE};
 pub use spill::{SpillPool, SpillVector};
 
 use std::fmt;

@@ -13,7 +13,7 @@
 //! `encode_auto` would have produced for the same values — the equivalence
 //! the differential ingest tests pin down.
 
-use crate::{Result, VectorError, VectorStats, SKIP_STRIDE};
+use crate::{Result, VectorError, VectorStats, INDEX_MIN_COUNT, SKIP_STRIDE};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use vx_storage::pager::{Pager, PagerStats, PAGE_SIZE};
@@ -23,6 +23,7 @@ const MAGIC: &[u8; 4] = b"VXVC";
 const TRAILER_MAGIC: &[u8; 4] = b"VXVE";
 const V1_PLAIN: u8 = 1;
 const V2_DICT: u8 = 2;
+const V3_SORTED: u8 = 3;
 /// Bytes before the data section (magic + version).
 const DATA_START: u64 = 5;
 /// Dictionary compaction cut-off (one `u8` code per record).
@@ -204,22 +205,79 @@ impl SpillVector {
             varint::write(&mut index, skip);
         }
         let data_end = DATA_START + self.stream_len;
-        write_trailer(&mut index, data_end, self.count);
+        write_trailer(&mut index, data_end, data_end, self.count);
         out.write_all(&index)?;
         Ok(VectorStats {
             count: self.count,
             data_bytes: self.stream_len,
             value_bytes: self.value_bytes,
+            index_bytes: 0,
             version: V1_PLAIN,
         })
     }
 
-    /// Writes whichever of version 1/2 [`crate::Writer::encode_auto`] would
-    /// pick (version 2 iff ≤ 128 distinct values *and* strictly smaller),
-    /// byte-identical to it.
+    /// Writes the version-3 (indexed) encoding — byte-identical to
+    /// [`crate::Writer::encode_indexed`] over the same values.
+    ///
+    /// Building the value index is the one finish step that is not
+    /// bounded-memory: the spilled values are re-streamed through the
+    /// pool and held in memory to sort. The record *stream* itself is
+    /// still copied page-at-a-time; only the sort working set grows
+    /// with the vector.
+    pub fn finish_indexed(self, pool: &mut SpillPool, out: &mut impl Write) -> Result<VectorStats> {
+        out.write_all(MAGIC)?;
+        out.write_all(&[V3_SORTED])?;
+        self.copy_stream(pool, out)?;
+
+        let mut cursor = SpillCursor::new(&self);
+        let mut values: Vec<Vec<u8>> = Vec::with_capacity(self.count as usize);
+        let mut value = Vec::new();
+        for _ in 0..self.count {
+            cursor.next_value(&self, pool, &mut value)?;
+            values.push(value.clone());
+        }
+        let mut order: Vec<u32> = (0..self.count as u32).collect();
+        order.sort_by(|&a, &b| values[a as usize].cmp(&values[b as usize]).then(a.cmp(&b)));
+
+        let mut tail = Vec::new();
+        varint::write(&mut tail, self.count);
+        for pos in order {
+            tail.extend_from_slice(&pos.to_le_bytes());
+        }
+        let index_bytes = tail.len() as u64;
+        for &skip in &self.skips {
+            varint::write(&mut tail, skip);
+        }
+        let data_end = DATA_START + self.stream_len;
+        write_trailer(&mut tail, data_end, data_end + index_bytes, self.count);
+        out.write_all(&tail)?;
+        Ok(VectorStats {
+            count: self.count,
+            data_bytes: self.stream_len,
+            value_bytes: self.value_bytes,
+            index_bytes,
+            version: V3_SORTED,
+        })
+    }
+
+    /// Total on-disk size of the version-3 encoding.
+    fn indexed_size(&self) -> u64 {
+        self.plain_size() + varint::encoded_len(self.count) as u64 + 4 * self.count
+    }
+
+    /// Writes whichever encoding [`crate::Writer::encode_auto`] would
+    /// pick — version 3 at [`INDEX_MIN_COUNT`] records or more, else
+    /// version 1, with the dictionary form winning whenever it is both
+    /// possible and strictly smaller — byte-identical to it.
     pub fn finish_auto(self, pool: &mut SpillPool, out: &mut impl Write) -> Result<VectorStats> {
+        let candidate_size = if self.count >= INDEX_MIN_COUNT {
+            self.indexed_size()
+        } else {
+            self.plain_size()
+        };
         match self.dict_size() {
-            Some(dict_size) if dict_size < self.plain_size() => self.finish_dict(pool, out),
+            Some(dict_size) if dict_size < candidate_size => self.finish_dict(pool, out),
+            _ if self.count >= INDEX_MIN_COUNT => self.finish_indexed(pool, out),
             _ => self.finish_plain(pool, out),
         }
     }
@@ -255,20 +313,21 @@ impl SpillVector {
         out.write_all(&codes)?;
         let data_end = head.len() as u64 + self.count;
         let mut trailer = Vec::new();
-        write_trailer(&mut trailer, data_end, self.count);
+        write_trailer(&mut trailer, data_end, data_end, self.count);
         out.write_all(&trailer)?;
         Ok(VectorStats {
             count: self.count,
             data_bytes: self.count,
             value_bytes: self.value_bytes,
+            index_bytes: 0,
             version: V2_DICT,
         })
     }
 }
 
-fn write_trailer(out: &mut Vec<u8>, data_end: u64, count: u64) {
+fn write_trailer(out: &mut Vec<u8>, data_end: u64, skip_start: u64, count: u64) {
     out.extend_from_slice(&data_end.to_le_bytes());
-    out.extend_from_slice(&data_end.to_le_bytes()); // skip_start == data_end
+    out.extend_from_slice(&skip_start.to_le_bytes());
     out.extend_from_slice(&count.to_le_bytes());
     out.extend_from_slice(TRAILER_MAGIC);
 }
@@ -431,10 +490,40 @@ mod tests {
     }
 
     #[test]
-    fn high_cardinality_falls_back_to_plain_identically() {
+    fn high_cardinality_falls_back_to_indexed_identically() {
         let values: Vec<Vec<u8>> = (0..600).map(|i| format!("{i}").into_bytes()).collect();
         let (reference, streamed) = finish_both(&values, "fallback", true);
-        assert_eq!(reference[4], 1, "reference must fall back to plain");
+        assert_eq!(reference[4], 3, "reference must fall back to indexed plain");
+        assert_eq!(reference, streamed);
+    }
+
+    #[test]
+    fn explicit_indexed_matches_in_memory_writer() {
+        let values: Vec<Vec<u8>> = (0..900)
+            .map(|i| format!("key-{:04}", (i * 37) % 900).into_bytes())
+            .collect();
+        let mut w = Writer::new();
+        for v in &values {
+            w.push(v);
+        }
+        let reference = w.encode_indexed();
+
+        let path = temp_spill("indexed");
+        let mut pool = SpillPool::create(&path, 4).unwrap();
+        let mut sv = SpillVector::new();
+        for v in &values {
+            sv.append(&mut pool, v).unwrap();
+        }
+        let mut streamed = Vec::new();
+        sv.finish_indexed(&mut pool, &mut streamed).unwrap();
+        assert_eq!(reference, streamed);
+    }
+
+    #[test]
+    fn small_vector_auto_stays_plain() {
+        let values: Vec<Vec<u8>> = (0..40).map(|i| format!("d{i}").into_bytes()).collect();
+        let (reference, streamed) = finish_both(&values, "small", true);
+        assert_eq!(reference[4], 1, "below INDEX_MIN_COUNT auto stays v1");
         assert_eq!(reference, streamed);
     }
 

@@ -2,7 +2,7 @@
 //! query. Run with `cargo run --example quickstart`.
 
 use xmlvec::core::{reconstruct, vectorize, Compaction, Store};
-use xmlvec::{Query, QueryOutput};
+use xmlvec::{Query, QueryOutput, RunOptions};
 
 fn main() -> xmlvec::Result<()> {
     // 1. Parse a small MedLine-shaped document.
@@ -59,7 +59,10 @@ fn main() -> xmlvec::Result<()> {
            where $c/Language = "ENG"
            return $c/PMID"#,
     )?;
-    let results = select.run(&reloaded)?.strings();
+    let results = select
+        .run_with(&reloaded, &RunOptions::default())?
+        .output
+        .strings();
     println!("English-language PMIDs: {results:?}");
     assert_eq!(results, vec!["10000001", "10000003"]);
 
@@ -70,7 +73,7 @@ fn main() -> xmlvec::Result<()> {
            where $c/Language = "ENG"
            return <cite>{$c/PMID}{$c/Article/ArticleTitle}</cite>"#,
     )?;
-    let out = build.run(&reloaded)?;
+    let out = build.run_with(&reloaded, &RunOptions::default())?.output;
     if let QueryOutput::Document(vd) = &out {
         println!(
             "constructed result has {} vectors (e.g. results/cite/PMID)",

@@ -390,16 +390,18 @@ fn reduce_phase(config: &Config) -> Vec<Json> {
             let mut best = f64::INFINITY;
             let mut bytes = Vec::new();
             for _ in 0..config.iters {
+                let options = xmlvec::RunOptions {
+                    parallel: !serial,
+                    ..Default::default()
+                };
                 let start = Instant::now();
-                let output = if serial {
-                    query.run_handles_serial(&handles)
-                } else {
-                    query.run_handles(&handles)
-                }
-                .unwrap_or_else(|e| {
-                    eprintln!("bench_serve: {dataset} join: {e}");
-                    exit(1);
-                });
+                let output = query
+                    .run_with(&handles, &options)
+                    .unwrap_or_else(|e| {
+                        eprintln!("bench_serve: {dataset} join: {e}");
+                        exit(1);
+                    })
+                    .output;
                 best = best.min(start.elapsed().as_secs_f64());
                 bytes = canon(&output);
             }

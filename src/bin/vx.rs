@@ -4,6 +4,7 @@
 //! vx ingest <xml-file> <store-dir> [--auto] [--dom] [--drop-misc] [--frames N]
 //! vx stats <store-dir>
 //! vx query <store-dir> <xquery> [--out values|xml]
+//! vx explain <store-dir> <xquery> [--plan hash|inl|merge] [--no-indexes]
 //! vx reconstruct <store-dir> [--out <file>]
 //! vx serve <store-dir>... [--addr HOST:PORT] [--threads N]
 //! ```
@@ -16,7 +17,11 @@
 //! decode and agree with the catalog). `query` compiles an XQ query and
 //! reduces it against the store's `VEC(T)`; `reconstruct` regenerates
 //! the original document text (byte-identical to the compact writer's
-//! serialization of the ingested XML). `serve` opens each store once
+//! serialization of the ingested XML). `explain` renders the planner's
+//! decisions — exact cardinalities, the join strategy per equality edge,
+//! and which literal filters resolve through the store's persistent
+//! value indexes — without enumerating a single tuple. `serve` opens
+//! each store once
 //! into a shared [`xmlvec::core::StoreHandle`] and answers HTTP/1.1 +
 //! JSON queries from a worker-thread pool (see `xmlvec::serve`).
 //!
@@ -36,11 +41,13 @@ const USAGE: &str = "usage:
   vx ingest <xml-file> <store-dir> [--auto] [--dom] [--drop-misc] [--frames N] [--metrics]
   vx stats <store-dir> [--metrics]
   vx query <store-dir> <xquery> [--out values|xml] [--profile | --profile-json]
+  vx explain <store-dir> <xquery> [--plan hash|inl|merge] [--no-indexes]
   vx reconstruct <store-dir> [--out <file>]
   vx serve <store-dir>... [--addr HOST:PORT] [--threads N]
 
 ingest options:
-  --auto       per-vector dictionary compaction when smaller (default: plain)
+  --auto       per-vector encoding choice: value index at >= 64 records,
+               dictionary when smaller, else plain (default: plain)
   --dom        build via the in-memory DOM path instead of streaming
   --drop-misc  drop comments/processing instructions instead of erroring
   --frames N   spill buffer-pool frames for streaming ingest (default: 64)
@@ -48,13 +55,18 @@ ingest options:
 
 stats options:
   --metrics    read vectors through a bounded buffer pool and report
-               frame-cache statistics plus per-vector encoding (v1/v2)
+               frame-cache statistics plus per-vector encoding
+               (v1 plain / v2 dict / v3 index) and value-index sizes
 
 query options:
   --out values   one projected text value per line (default)
   --out xml      serialize the result as an XML document
   --profile      suppress results; print the per-step evaluation profile
   --profile-json same, as a JSON object
+
+explain options:
+  --plan S       force one join strategy for every edge (hash, inl, merge)
+  --no-indexes   plan as if the store had no persistent value indexes
 
 reconstruct options:
   --out FILE   write the XML to FILE instead of stdout
@@ -100,6 +112,7 @@ fn main() {
         Some("ingest") => ingest(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("query") => query(&args[1..]),
+        Some("explain") => explain(&args[1..]),
         Some("reconstruct") => reconstruct(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some(other) => fail_usage(format!("unknown command `{other}`")),
@@ -275,7 +288,7 @@ fn stats(args: &[String]) {
     // paged path can be reported.
     const STATS_FRAMES: usize = 16;
     let mut pool = xmlvec::storage::pager::PagerStats::default();
-    let mut encodings: Vec<u8> = Vec::with_capacity(catalog.vectors.len());
+    let mut encodings: Vec<(u8, u64)> = Vec::with_capacity(catalog.vectors.len());
     for entry in &catalog.vectors {
         let vector = if metrics {
             let (vector, stats) =
@@ -292,7 +305,16 @@ fn stats(args: &[String]) {
             xmlvec::vector::Vector::open(&dir.join(&entry.file))
                 .unwrap_or_else(|e| fail(format!("vector `{}` ({}): {e}", entry.path, entry.file)))
         };
-        encodings.push(vector.stats().version);
+        encodings.push((vector.stats().version, vector.stats().index_bytes));
+        if entry.version != 0 && entry.version != vector.stats().version {
+            fail(format!(
+                "vector `{}` ({}): catalog says format v{}, file is v{}",
+                entry.path,
+                entry.file,
+                entry.version,
+                vector.stats().version
+            ));
+        }
         if vector.len() != entry.count {
             fail(format!(
                 "vector `{}` ({}): catalog says {} records, file has {}",
@@ -339,19 +361,32 @@ fn stats(args: &[String]) {
             "frame cache  {} frames: {} hits, {} misses, {} evictions, {} writebacks",
             STATS_FRAMES, pool.hits, pool.misses, pool.evictions, pool.writebacks
         );
+        let indexed = encodings.iter().filter(|(v, _)| *v == 3).count();
+        let index_bytes: u64 = encodings.iter().map(|(_, b)| *b).sum();
+        let _ = writeln!(
+            out,
+            "value index  {indexed} of {} vectors, {index_bytes} bytes",
+            encodings.len()
+        );
     }
     let _ = writeln!(out, "vectors      {}", catalog.vectors.len());
     for (i, entry) in catalog.vectors.iter().enumerate() {
         if metrics {
-            let encoding = match encodings[i] {
+            let (version, index_bytes) = encodings[i];
+            let encoding = match version {
                 2 => "v2 dict ",
+                3 => "v3 index",
                 _ => "v1 plain",
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "  {:<12} {:>8} values {:>10} data bytes  {encoding}  {}",
-                entry.file, entry.count, entry.data_bytes, entry.path
+                "  {:<12} {:>8} values {:>10} data bytes  {encoding}",
+                entry.file, entry.count, entry.data_bytes
             );
+            if index_bytes > 0 {
+                let _ = write!(out, " ({index_bytes} index bytes)");
+            }
+            let _ = writeln!(out, "  {}", entry.path);
         } else {
             let _ = writeln!(
                 out,
@@ -410,9 +445,14 @@ fn query(args: &[String]) {
             .into_iter()
             .map(|name| (name, handle.doc()))
             .collect();
-        let (output, profile) = compiled
-            .run_corpus_profiled(&corpus)
+        let options = xmlvec::engine::RunOptions {
+            profile: true,
+            ..Default::default()
+        };
+        let outcome = compiled
+            .run_with(&corpus[..], &options)
             .unwrap_or_else(|e| fail(format!("query: {e}")));
+        let (output, profile) = (outcome.output, outcome.profile.expect("profile requested"));
         let cardinality = match &output {
             QueryOutput::Values(values) => values.len() as u64,
             QueryOutput::Document(_) => output.strings().len() as u64,
@@ -428,8 +468,9 @@ fn query(args: &[String]) {
     }
 
     let output = compiled
-        .run_handle(&handle)
-        .unwrap_or_else(|e| fail(format!("query: {e}")));
+        .run_with(&handle, &Default::default())
+        .unwrap_or_else(|e| fail(format!("query: {e}")))
+        .output;
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     match mode {
@@ -456,6 +497,46 @@ fn query(args: &[String]) {
             }
         },
     }
+}
+
+/// Renders the planner's decisions for a query over a store without
+/// running it: collection happens (exact cardinalities), enumeration
+/// never does.
+fn explain(args: &[String]) {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut options = xmlvec::engine::RunOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--plan" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .unwrap_or_else(|| fail_usage("explain: --plan needs a value"));
+                options.strategy = Some(xmlvec::engine::JoinStrategy::parse(value).unwrap_or_else(
+                    || {
+                        fail_usage(format!(
+                            "explain: --plan must be `hash`, `inl`, or `merge`, got `{value}`"
+                        ))
+                    },
+                ));
+            }
+            "--no-indexes" => options.use_indexes = false,
+            flag if flag.starts_with('-') => fail_usage(format!("explain: unknown flag `{flag}`")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [dir, xq] = positional[..] else {
+        fail_usage("explain: expected <store-dir> <xquery>");
+    };
+    let handle = open_store(Path::new(dir));
+    let compiled = Query::new(xq).unwrap_or_else(|e| fail(format!("explain: {e}")));
+    let plan = compiled
+        .explain_with(&handle, &options)
+        .unwrap_or_else(|e| fail(format!("explain: {e}")));
+    let stdout = std::io::stdout();
+    write_stdout(&mut stdout.lock(), plan.render().as_bytes());
 }
 
 /// The human-readable `--profile` report: steps tile the total, so the

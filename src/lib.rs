@@ -31,11 +31,11 @@
 //! Quick start (`examples/quickstart.rs` runs the full loop):
 //!
 //! ```
-//! use xmlvec::Query;
+//! use xmlvec::{Query, RunOptions};
 //! let doc = xmlvec::xml::parse("<r><e><k>a</k></e><e><k>b</k></e></r>")?;
 //! let vec_doc = xmlvec::core::vectorize(&doc)?;
 //! let q = Query::new(r#"for $e in doc("d")/r/e return $e/k"#)?;
-//! assert_eq!(q.run(&vec_doc)?.strings(), ["a", "b"]);
+//! assert_eq!(q.run_with(&vec_doc, &RunOptions::default())?.output.strings(), ["a", "b"]);
 //! # Ok::<(), xmlvec::Error>(())
 //! ```
 
@@ -54,7 +54,7 @@ pub use vx_vector as vector;
 pub use vx_xml as xml;
 pub use vx_xquery as xquery;
 
-pub use vx_engine::{Query, QueryOutput};
+pub use vx_engine::{JoinStrategy, Plan, Query, QueryOutput, RunOptions, RunOutcome};
 
 use std::fmt;
 
@@ -150,16 +150,19 @@ pub fn to_xml(doc: &vx_core::VecDoc) -> Result<String> {
 /// output to lossy strings.
 #[deprecated(
     since = "0.2.0",
-    note = "use `xmlvec::Query::new(xq)?.run(doc)` to keep the compiled \
-            query and the structured `QueryOutput`"
+    note = "use `xmlvec::Query::new(xq)?.run_with(doc, &RunOptions::default())` \
+            to keep the compiled query and the structured `QueryOutput`"
 )]
 pub fn query(doc: &vx_core::VecDoc, xq: &str) -> Result<Vec<String>> {
-    Ok(Query::new(xq)?.run(doc)?.strings())
+    Ok(Query::new(xq)?
+        .run_with(doc, &RunOptions::default())?
+        .output
+        .strings())
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{Query, QueryOutput};
+    use crate::{Query, QueryOutput, RunOptions};
 
     #[test]
     fn facade_round_trip_and_query() {
@@ -167,14 +170,20 @@ mod tests {
         let doc = crate::vectorize_str(xml).unwrap();
         assert_eq!(crate::to_xml(&doc).unwrap(), xml);
         let q = Query::new(r#"for $e in doc("d")/r/e where $e/k = "b" return $e/k"#).unwrap();
-        assert_eq!(q.run(&doc).unwrap().strings(), vec!["b"]);
+        assert_eq!(
+            q.run_with(&doc, &RunOptions::default())
+                .unwrap()
+                .output
+                .strings(),
+            vec!["b"]
+        );
     }
 
     #[test]
     fn facade_constructor_output_is_vectorized() {
         let doc = crate::vectorize_str("<r><e><k>a</k></e><e><k>b</k></e></r>").unwrap();
         let q = Query::new(r#"for $e in doc("d")/r/e return <row>{$e/k}</row>"#).unwrap();
-        let out = q.run(&doc).unwrap();
+        let out = q.run_with(&doc, &RunOptions::default()).unwrap().output;
         let QueryOutput::Document(vd) = &out else {
             panic!("expected a vectorized document");
         };

@@ -15,6 +15,7 @@
 //! | endpoint | body | answer |
 //! |---|---|---|
 //! | `POST /query` | `{"store":"name","query":"XQ…","out":"values"\|"xml"}` | `{"store","query","cached","values":[…]}` or `{"xml":"…"}` |
+//! | `POST /query` + `"explain":true` | same body | `{"store","query","cached","plan":"…"}` — the planner's decisions, nothing runs |
 //! | `GET /stats` | — | per-store catalog summary |
 //! | `GET /metrics` | — | per-endpoint latency histograms (count/p50/p99) |
 //! | `GET /healthz` | — | `{"status":"ok","stores":[…]}` |
@@ -38,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use vx_core::json::{self, Json};
 use vx_core::StoreHandle;
-use vx_engine::{EngineError, Query};
+use vx_engine::{EngineError, Query, RunOptions, Targets};
 use vx_obs::Histogram;
 
 /// Largest accepted request body (a query text, not a document).
@@ -474,26 +475,42 @@ fn handle_query(request: &Request, state: &Arc<AppState>) -> (u16, String) {
         },
     };
 
-    let run = match store {
-        Some(store) => query.run_handle(store),
+    let explain = parsed
+        .get("explain")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let all: Vec<StoreHandle>;
+    let targets = match store {
+        Some(store) => Targets::Handle(store),
         None => {
-            let all: Vec<StoreHandle> = state
+            all = state
                 .order
                 .iter()
                 .map(|name| state.stores[name].clone())
                 .collect();
-            query.run_handles(&all)
+            Targets::Handles(&all)
         }
-    };
-    let output = match run {
-        Ok(output) => output,
-        Err(e) => return engine_error_response(&e),
     };
     let mut fields = vec![
         ("store".into(), Json::Str(cache_store)),
         ("query".into(), Json::Str(query_text.into())),
         ("cached".into(), Json::Bool(was_cached)),
     ];
+    if explain {
+        // Plan only: collection runs for exact cardinalities, but no
+        // tuple is ever enumerated.
+        return match query.explain(targets) {
+            Ok(plan) => {
+                fields.push(("plan".into(), Json::Str(plan.render())));
+                (200, json::to_string_pretty(&Json::Object(fields)))
+            }
+            Err(e) => engine_error_response(&e),
+        };
+    }
+    let output = match query.run_with(targets, &RunOptions::default()) {
+        Ok(outcome) => outcome.output,
+        Err(e) => return engine_error_response(&e),
+    };
     match out_mode {
         "xml" => match output.to_xml() {
             Ok(xml) => fields.push(("xml".into(), Json::Str(xml))),

@@ -143,7 +143,7 @@ fn ingest_flags_preserve_reconstruction() {
     }
 }
 
-/// `vx query --out values` emits exactly what `Query::run_corpus`
+/// `vx query --out values` emits exactly what `Query::run_with`
 /// produces in-process, one value per line; `--out xml` matches
 /// `QueryOutput::to_xml` for both value and document outputs.
 #[test]
@@ -161,7 +161,11 @@ fn query_matches_in_process_engine() {
         r#"for $a in doc("xk")/site/closed_auctions/closed_auction return <sold>{$a/price}{$a/date}</sold>"#,
     ];
     for xq in queries {
-        let expected = Query::new(xq).unwrap().run(&vec_doc).unwrap();
+        let expected = Query::new(xq)
+            .unwrap()
+            .run_with(&vec_doc, &Default::default())
+            .unwrap()
+            .output;
 
         let values = run(&["query", store_arg, xq]);
         assert_code(&values, 0, xq);
@@ -191,7 +195,11 @@ fn query_matches_in_process_engine() {
     assert_eq!(stdout(&empty), "");
 
     // Document outputs also flatten to one text value per line by default.
-    let constructed = Query::new(queries[2]).unwrap().run(&vec_doc).unwrap();
+    let constructed = Query::new(queries[2])
+        .unwrap()
+        .run_with(&vec_doc, &Default::default())
+        .unwrap()
+        .output;
     assert!(matches!(constructed, QueryOutput::Document(_)));
     let flat = run(&["query", store_arg, queries[2]]);
     assert_eq!(
@@ -202,6 +210,78 @@ fn query_matches_in_process_engine() {
             .map(|s| format!("{s}\n"))
             .collect::<String>()
     );
+}
+
+/// `vx explain` output is a stable, golden-checked surface: the planner
+/// must pick sort-merge over the persistent value index for the
+/// SQ3-shaped self-join, honor `--plan` forcing, fall back to the hash
+/// strategy under `--no-indexes`, and route selective literal filters
+/// through the value index. Byte-exact so downstream tooling can parse it.
+#[test]
+fn explain_golden_plan_is_stable() {
+    let scratch = Scratch::new("explain");
+    // 200 distinct objID/ra values: enough that `--auto` picks the v3
+    // value-indexed encoding (the dictionary form needs ≤ 128 distinct).
+    let mut xml = String::from("<sky>");
+    for i in 0..200 {
+        xml.push_str(&format!(
+            "<PhotoObj><objID>{i:06}</objID><ra>{i}.5</ra></PhotoObj>"
+        ));
+    }
+    xml.push_str("</sky>");
+    let xml_file = scratch.path("sky.xml");
+    std::fs::write(&xml_file, &xml).unwrap();
+    let store = scratch.path("sky-store");
+    let out = run(&[
+        "ingest",
+        xml_file.to_str().unwrap(),
+        store.to_str().unwrap(),
+        "--auto",
+    ]);
+    assert_code(&out, 0, "ingest explain fixture");
+    let store_arg = store.to_str().unwrap();
+
+    let sq3 = r#"for $a in doc("sky-store")//PhotoObj, $b in doc("sky-store")//PhotoObj where $a/objID = $b/objID return $b/ra"#;
+    let join_plan = |strategy: &str, access: &str| {
+        format!(
+            "variables:\n  \
+               $a := doc(\"sky-store\")//PhotoObj  occurrences=200\n  \
+               $b := doc(\"sky-store\")//PhotoObj  occurrences=200\n\
+             joins:\n  \
+               $a/objID = $b/objID  strategy={strategy} access={access} probe_values=200 build_values=200\n\
+             output: values\n"
+        )
+    };
+
+    for (args, expected) in [
+        (
+            vec!["explain", store_arg, sq3],
+            join_plan("merge", "persistent-index"),
+        ),
+        (
+            vec!["explain", store_arg, sq3, "--plan", "inl"],
+            join_plan("inl", "persistent-index"),
+        ),
+        (
+            vec!["explain", store_arg, sq3, "--no-indexes"],
+            join_plan("hash", "none"),
+        ),
+        (
+            vec![
+                "explain",
+                store_arg,
+                r#"for $a in doc("sky-store")//PhotoObj where $a/objID = "000007" return $a/ra"#,
+            ],
+            "variables:\n  $a := doc(\"sky-store\")//PhotoObj  occurrences=200\n\
+             filters:\n  $a/objID = \"000007\"  access=value-index\n\
+             output: values\n"
+                .to_string(),
+        ),
+    ] {
+        let out = run(&args);
+        assert_code(&out, 0, &format!("{args:?}"));
+        assert_eq!(stdout(&out), expected, "plan drifted for {args:?}");
+    }
 }
 
 /// Missing stores are operational failures: exit 1, a `vx:` message on
@@ -271,15 +351,17 @@ fn damaged_store_is_refused_whole() {
 #[test]
 fn bad_arguments_exit_2_with_usage() {
     let cases: Vec<Vec<&str>> = vec![
-        vec![],                                  // no command
-        vec!["frobnicate"],                      // unknown command
-        vec!["ingest", "only-one-arg"],          // missing operand
-        vec!["stats"],                           // missing operand
-        vec!["stats", "a", "--wat"],             // unknown flag
-        vec!["query", "store-only"],             // missing query
-        vec!["query", "s", "q", "--out", "csv"], // bad --out mode
-        vec!["reconstruct"],                     // missing operand
-        vec!["reconstruct", "s", "--out"],       // --out without value
+        vec![],                                        // no command
+        vec!["frobnicate"],                            // unknown command
+        vec!["ingest", "only-one-arg"],                // missing operand
+        vec!["stats"],                                 // missing operand
+        vec!["stats", "a", "--wat"],                   // unknown flag
+        vec!["query", "store-only"],                   // missing query
+        vec!["query", "s", "q", "--out", "csv"],       // bad --out mode
+        vec!["explain", "store-only"],                 // missing query
+        vec!["explain", "s", "q", "--plan", "zigzag"], // unknown strategy
+        vec!["reconstruct"],                           // missing operand
+        vec!["reconstruct", "s", "--out"],             // --out without value
     ];
     for args in cases {
         let out = run(&args);

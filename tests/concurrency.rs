@@ -10,7 +10,14 @@
 use std::collections::HashMap;
 use xmlvec::core::{vectorize, StoreHandle};
 use xmlvec::engine::Query;
-use xmlvec::QueryOutput;
+use xmlvec::{QueryOutput, RunOptions};
+
+fn serial() -> RunOptions {
+    RunOptions {
+        parallel: false,
+        ..RunOptions::default()
+    }
+}
 
 /// Tiny corpora — large enough that every workload query returns rows,
 /// small enough to keep the 8×13 query matrix fast in CI.
@@ -69,7 +76,7 @@ fn eight_threads_match_serial_on_the_workload() {
 
     let serial: Vec<Vec<u8>> = compiled
         .iter()
-        .map(|(name, query)| canon(&query.run_handles_serial(&handles).expect(name)))
+        .map(|(name, query)| canon(&query.run_with(&handles, &serial()).expect(name).output))
         .collect();
     assert!(
         serial.iter().any(|bytes| !bytes.is_empty()),
@@ -84,8 +91,9 @@ fn eight_threads_match_serial_on_the_workload() {
             scope.spawn(move || {
                 for ((name, query), expected) in compiled.iter().zip(serial) {
                     let output = query
-                        .run_handles(handles)
-                        .unwrap_or_else(|e| panic!("thread {thread}, {name}: {e}"));
+                        .run_with(handles, &RunOptions::default())
+                        .unwrap_or_else(|e| panic!("thread {thread}, {name}: {e}"))
+                        .output;
                     assert_eq!(
                         &canon(&output),
                         expected,
@@ -101,8 +109,8 @@ fn eight_threads_match_serial_on_the_workload() {
 fn parallel_multi_document_collection_matches_serial() {
     force_parallel();
     // Two handles over the same XMark corpus under different names: the
-    // self-join references both documents, so `run_handles` takes the
-    // scoped-thread collection path while `run_handles_serial` walks
+    // self-join references both documents, so the default options take
+    // the scoped-thread collection path while `parallel: false` walks
     // the documents one after the other.
     let doc = xmlvec::bench::corpus("xk", 60);
     let vec_doc = vectorize(&doc).expect("xmark vectorizes");
@@ -118,8 +126,13 @@ fn parallel_multi_document_collection_matches_serial() {
     )
     .unwrap();
 
-    let serial = canon(&query.run_handles_serial(&handles).unwrap());
-    let parallel = canon(&query.run_handles(&handles).unwrap());
+    let serial = canon(&query.run_with(&handles, &serial()).unwrap().output);
+    let parallel = canon(
+        &query
+            .run_with(&handles, &RunOptions::default())
+            .unwrap()
+            .output,
+    );
     assert!(!serial.is_empty(), "self-join should match every person");
     assert_eq!(
         parallel, serial,
@@ -132,7 +145,12 @@ fn handle_clones_share_one_store() {
     let doc = xmlvec::bench::corpus("xk", 20);
     let handle = StoreHandle::from_doc("xk", vectorize(&doc).unwrap()).unwrap();
     let query = Query::new(r#"for $i in doc("xk")/site/regions/*/item return $i/name"#).unwrap();
-    let expected = canon(&query.run_handle(&handle).unwrap());
+    let expected = canon(
+        &query
+            .run_with(&handle, &RunOptions::default())
+            .unwrap()
+            .output,
+    );
 
     std::thread::scope(|scope| {
         for _ in 0..4 {
@@ -140,7 +158,15 @@ fn handle_clones_share_one_store() {
             let query = &query;
             let expected = &expected;
             scope.spawn(move || {
-                assert_eq!(&canon(&query.run_handle(&clone).unwrap()), expected);
+                assert_eq!(
+                    &canon(
+                        &query
+                            .run_with(&clone, &RunOptions::default())
+                            .unwrap()
+                            .output
+                    ),
+                    expected
+                );
             });
         }
     });

@@ -7,7 +7,14 @@ use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use xmlvec::core::json;
-use xmlvec::Query;
+use xmlvec::{Query, RunOptions};
+
+fn profiled() -> RunOptions {
+    RunOptions {
+        profile: true,
+        ..RunOptions::default()
+    }
+}
 
 fn vx() -> Command {
     Command::new(env!("CARGO_BIN_EXE_vx"))
@@ -57,9 +64,11 @@ fn profiled_counters_are_deterministic() {
     let vec_doc = xmlvec::core::vectorize(&doc).unwrap();
     let q = Query::new(JOIN_QUERY).unwrap();
 
-    let (out_a, prof_a) = q.run_profiled(&vec_doc).unwrap();
-    let (out_b, prof_b) = q.run_profiled(&vec_doc).unwrap();
-    let out_plain = q.run(&vec_doc).unwrap();
+    let a = q.run_with(&vec_doc, &profiled()).unwrap();
+    let b = q.run_with(&vec_doc, &profiled()).unwrap();
+    let (out_a, prof_a) = (a.output, a.profile.unwrap());
+    let (out_b, prof_b) = (b.output, b.profile.unwrap());
+    let out_plain = q.run_with(&vec_doc, &RunOptions::default()).unwrap().output;
 
     assert_eq!(out_a.strings(), out_b.strings());
     assert_eq!(
@@ -96,9 +105,11 @@ fn profiled_counters_are_deterministic() {
 fn profile_steps_tile_the_total() {
     let doc = xmlvec::data::xmark(7, 60);
     let vec_doc = xmlvec::core::vectorize(&doc).unwrap();
-    let (_, profile) = Query::new(JOIN_QUERY)
+    let profile = Query::new(JOIN_QUERY)
         .unwrap()
-        .run_profiled(&vec_doc)
+        .run_with(&vec_doc, &profiled())
+        .unwrap()
+        .profile
         .unwrap();
 
     let sum = profile.steps_total();
@@ -210,7 +221,11 @@ fn profile_json_schema_holds() {
 
     let doc = xmlvec::data::xmark(7, 30);
     let vec_doc = xmlvec::core::vectorize(&doc).unwrap();
-    let expected = Query::new(JOIN_QUERY).unwrap().run(&vec_doc).unwrap();
+    let expected = Query::new(JOIN_QUERY)
+        .unwrap()
+        .run_with(&vec_doc, &RunOptions::default())
+        .unwrap()
+        .output;
     assert_eq!(
         report.get("cardinality").and_then(|v| v.as_u64()),
         Some(expected.strings().len() as u64)
