@@ -10,7 +10,7 @@
 
 use std::path::PathBuf;
 use std::process::exit;
-use vx_bench::time_ingest;
+use vx_bench::{time_append, time_ingest};
 use vx_core::json::{to_string_pretty, Json};
 use vx_xml::WriteOptions;
 
@@ -109,6 +109,34 @@ fn main() {
             timing.write_secs,
             timing.spill_pages,
         );
+        // Append path: journal a ~5% batch into the WAL over the freshly
+        // ingested base, reopen through replay, and compact it away.
+        let extra_records = (*records / 20).max(1);
+        let extra = match *corpus {
+            "medline" => vx_data::medline(43, extra_records),
+            _ => vx_data::skyserver(43, extra_records),
+        };
+        let batch = vec![vx_xml::write_document(&extra, &write_opts).into_bytes()];
+        let append_dir = scratch.join(format!("{corpus}-{records}-append"));
+        let append = match time_append(&append_dir, &xml, &batch, config.iters) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_ingest: {corpus}-{records} append: {e}");
+                exit(2);
+            }
+        };
+        println!(
+            "{:>9} {extra_records:>6} records  {:>8.3} MB  \
+             wal {:>8.1} rec/s ({:.4}s{})  reopen {:.4}s  compact {:.4}s",
+            "+append",
+            append.append_bytes as f64 / 1_000_000.0,
+            extra_records as f64 / append.append_secs,
+            append.append_secs,
+            if append.synced { "" } else { ", unsynced" },
+            append.reopen_secs,
+            append.compact_secs,
+        );
+
         runs.push(Json::Object(vec![
             ("corpus".into(), Json::Str(corpus.to_string())),
             ("records".into(), Json::Num(*records as f64)),
@@ -158,6 +186,25 @@ fn main() {
                 ]),
             ),
             ("spill_pages".into(), Json::Num(timing.spill_pages as f64)),
+            // Append-path row: WAL journaling, replay-on-open, and
+            // compaction cost for a ~5% batch over this base corpus.
+            (
+                "append".into(),
+                Json::Object(vec![
+                    ("records".into(), Json::Num(extra_records as f64)),
+                    ("docs".into(), Json::Num(append.append_docs as f64)),
+                    ("batch_bytes".into(), Json::Num(append.append_bytes as f64)),
+                    ("wal_bytes".into(), Json::Num(append.wal_bytes as f64)),
+                    ("append_secs".into(), Json::Num(append.append_secs)),
+                    ("reopen_secs".into(), Json::Num(append.reopen_secs)),
+                    ("compact_secs".into(), Json::Num(append.compact_secs)),
+                    (
+                        "append_records_per_sec".into(),
+                        Json::Num(extra_records as f64 / append.append_secs),
+                    ),
+                    ("synced".into(), Json::Bool(append.synced)),
+                ]),
+            ),
         ]));
     }
     let _ = std::fs::remove_dir_all(&scratch);

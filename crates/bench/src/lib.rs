@@ -22,19 +22,46 @@ pub struct StoreSizes {
     pub vector_bytes: u64,
     /// Bytes of `catalog.json`.
     pub catalog_bytes: u64,
+    /// Bytes across `wal/seg-*.wal` (appended-but-uncompacted data).
+    pub wal_bytes: u64,
 }
 
 impl StoreSizes {
+    /// Bytes of the active generation's store files (the WAL is journal
+    /// overhead on top, reported separately).
     pub fn total(&self) -> u64 {
         self.skeleton_bytes + self.vector_bytes + self.catalog_bytes
     }
 
-    /// Measures a store directory on disk (no decoding).
+    /// Measures a store directory on disk (no decoding). Generational
+    /// stores (a `CURRENT` manifest pointing at `gen-NNNN/`) are
+    /// measured at their active generation; the WAL directory, if any,
+    /// is tallied separately.
     pub fn measure(dir: &Path) -> std::io::Result<StoreSizes> {
+        let base = Store::base_dir(dir).map_err(|e| match e {
+            CoreError::Io(e) => e,
+            other => std::io::Error::other(other.to_string()),
+        })?;
+        let mut sizes = StoreSizes::measure_flat(&base)?;
+        let wal_dir = dir.join(vx_wal::WAL_DIR);
+        if wal_dir.is_dir() {
+            for entry in std::fs::read_dir(&wal_dir)? {
+                let entry = entry?;
+                if entry.file_name().to_string_lossy().ends_with(".wal") {
+                    sizes.wal_bytes += entry.metadata()?.len();
+                }
+            }
+        }
+        Ok(sizes)
+    }
+
+    /// Measures one directory's store files with no layout resolution.
+    fn measure_flat(dir: &Path) -> std::io::Result<StoreSizes> {
         let mut sizes = StoreSizes {
             skeleton_bytes: 0,
             vector_bytes: 0,
             catalog_bytes: 0,
+            wal_bytes: 0,
         };
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
@@ -146,6 +173,75 @@ pub fn time_ingest(dir: &Path, xml: &str, iters: u32) -> Result<IngestTiming, Co
         timing.pager_hits = report.pager.hits;
         timing.pager_misses = report.pager.misses;
         timing.pager_evictions = report.pager.evictions;
+    }
+    Ok(timing)
+}
+
+/// Wall-clock timings for the append path: WAL journaling, replay-on-open,
+/// and compaction into a fresh generation. Each phase is best-of-`iters`
+/// over a freshly rebuilt base store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppendTiming {
+    /// Documents per appended batch.
+    pub append_docs: u64,
+    /// XML bytes of the appended batch.
+    pub append_bytes: u64,
+    /// Best-of-`iters` seconds for `Store::append_batch` (validate +
+    /// journal + sync, per `VX_WAL_SYNC`).
+    pub append_secs: f64,
+    /// Best-of-`iters` seconds for `Store::open_report` with the batch
+    /// pending in the WAL (replay + overlay rebuild).
+    pub reopen_secs: f64,
+    /// Best-of-`iters` seconds for `Store::compact` folding the WAL into
+    /// a fresh generation.
+    pub compact_secs: f64,
+    /// WAL frame bytes the batch occupied before compaction.
+    pub wal_bytes: u64,
+    /// Whether the journal was fsync'd (false under `VX_WAL_SYNC=off`).
+    pub synced: bool,
+}
+
+/// Times the append path over a base corpus: per iteration the base store
+/// is rebuilt from scratch (untimed), then `append_batch`, a replaying
+/// `open_report`, and `compact` are each timed.
+pub fn time_append(
+    dir: &Path,
+    base_xml: &str,
+    batch: &[Vec<u8>],
+    iters: u32,
+) -> Result<AppendTiming, CoreError> {
+    let iters = iters.max(1);
+    let doc = vx_xml::parse(base_xml)?;
+    let vec_doc = vx_core::vectorize(&doc)?;
+    let options = vx_core::AppendOptions::default();
+
+    let mut timing = AppendTiming {
+        append_docs: batch.len() as u64,
+        append_bytes: batch.iter().map(|b| b.len() as u64).sum(),
+        append_secs: f64::INFINITY,
+        reopen_secs: f64::INFINITY,
+        compact_secs: f64::INFINITY,
+        wal_bytes: 0,
+        synced: false,
+    };
+    for _ in 0..iters {
+        let _ = std::fs::remove_dir_all(dir);
+        Store::save(dir, &vec_doc, vx_core::Compaction::None)?;
+
+        let start = Instant::now();
+        let report = Store::append_batch(dir, batch, &options)?;
+        timing.append_secs = timing.append_secs.min(start.elapsed().as_secs_f64());
+        timing.wal_bytes = report.wal_bytes;
+        timing.synced = report.synced;
+
+        let start = Instant::now();
+        let open = Store::open_report(dir)?;
+        timing.reopen_secs = timing.reopen_secs.min(start.elapsed().as_secs_f64());
+        debug_assert_eq!(open.wal.pending_docs, batch.len() as u64);
+
+        let start = Instant::now();
+        Store::compact(dir, vx_core::Compaction::None)?;
+        timing.compact_secs = timing.compact_secs.min(start.elapsed().as_secs_f64());
     }
     Ok(timing)
 }

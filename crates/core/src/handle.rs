@@ -20,6 +20,7 @@
 //!   engine allocates those per call; nothing in this type is ever
 //!   mutated by a query.
 
+use crate::append::WalStatus;
 use crate::store::{Catalog, Store};
 use crate::vecdoc::VecDoc;
 use crate::{CoreError, Result};
@@ -31,11 +32,23 @@ use vx_skeleton::{NodeId, PathIndex, Skeleton};
 struct StoreInner {
     /// Directory the store was opened from; empty for in-memory handles.
     dir: PathBuf,
+    /// Directory the active generation's files were read from (`dir`
+    /// for flat stores, `dir/gen-NNNN` after a compaction; empty for
+    /// in-memory handles).
+    base_dir: PathBuf,
     /// Default `doc("…")` name: the directory's file name (or an
     /// explicit override for in-memory handles).
     name: String,
     doc: VecDoc,
     catalog: Catalog,
+    /// The on-disk catalog of the active generation (equal to `catalog`
+    /// when no WAL overlay was replayed at open).
+    base_catalog: Catalog,
+    /// Active generation (0 = flat layout / in-memory).
+    generation: u32,
+    /// WAL state observed at open time (all zeros for in-memory
+    /// handles and stores without a `wal/` directory).
+    wal: WalStatus,
     index: PathIndex,
 }
 
@@ -58,12 +71,21 @@ impl StoreHandle {
     /// skeleton/vector integrity gate, then the path-index precompute.
     /// The returned handle never reads the directory again.
     pub fn open(dir: &Path) -> Result<StoreHandle> {
-        let (doc, catalog) = Store::open(dir)?;
+        let report = Store::open_report(dir)?;
         let name = dir
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
-        Self::assemble(dir.to_path_buf(), name, doc, catalog)
+        Self::assemble(
+            dir.to_path_buf(),
+            report.base_dir,
+            name,
+            report.doc,
+            report.catalog,
+            report.base_catalog,
+            report.generation,
+            report.wal,
+        )
     }
 
     /// Wraps an in-memory [`VecDoc`] (e.g. freshly vectorized, never
@@ -86,10 +108,30 @@ impl StoreHandle {
             node_count: doc.node_count(),
             text_bytes: doc.text_bytes(),
         };
-        Self::assemble(PathBuf::new(), name.to_string(), doc, catalog)
+        let base_catalog = catalog.clone();
+        Self::assemble(
+            PathBuf::new(),
+            PathBuf::new(),
+            name.to_string(),
+            doc,
+            catalog,
+            base_catalog,
+            0,
+            WalStatus::default(),
+        )
     }
 
-    fn assemble(dir: PathBuf, name: String, doc: VecDoc, catalog: Catalog) -> Result<StoreHandle> {
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        dir: PathBuf,
+        base_dir: PathBuf,
+        name: String,
+        doc: VecDoc,
+        catalog: Catalog,
+        base_catalog: Catalog,
+        generation: u32,
+        wal: WalStatus,
+    ) -> Result<StoreHandle> {
         let root = doc
             .root
             .ok_or_else(|| CoreError::Corrupt("store has no root node".into()))?;
@@ -124,9 +166,13 @@ impl StoreHandle {
         Ok(StoreHandle {
             inner: Arc::new(StoreInner {
                 dir,
+                base_dir,
                 name,
                 doc,
                 catalog,
+                base_catalog,
+                generation,
+                wal,
                 index,
             }),
         })
@@ -158,9 +204,34 @@ impl StoreHandle {
         self.inner.index.root()
     }
 
-    /// The parsed catalog (synthesized for in-memory handles).
+    /// The parsed catalog (synthesized for in-memory handles). With a
+    /// WAL overlay this describes the *served* document; see
+    /// [`StoreHandle::base_catalog`] for the on-disk generation.
     pub fn catalog(&self) -> &Catalog {
         &self.inner.catalog
+    }
+
+    /// The on-disk catalog of the active generation, verbatim (equal to
+    /// [`StoreHandle::catalog`] without a WAL overlay).
+    pub fn base_catalog(&self) -> &Catalog {
+        &self.inner.base_catalog
+    }
+
+    /// Directory the active generation's files were read from — the
+    /// store dir itself for flat stores, `dir/gen-NNNN` after a
+    /// compaction (empty for in-memory handles).
+    pub fn base_dir(&self) -> &Path {
+        &self.inner.base_dir
+    }
+
+    /// Active generation number (0 = flat layout / in-memory).
+    pub fn generation(&self) -> u32 {
+        self.inner.generation
+    }
+
+    /// WAL state observed when the handle was opened.
+    pub fn wal(&self) -> &WalStatus {
+        &self.inner.wal
     }
 
     /// The precomputed per-node text layout, shared by every query that

@@ -13,6 +13,7 @@
 //!   `v{NNNNNN}.vec`, and `catalog.json`, plus a salvage loader for stores
 //!   damaged by the seed capture's byte-dropping sanitizer.
 
+mod append;
 mod builder;
 mod handle;
 mod ingest;
@@ -22,6 +23,10 @@ mod store;
 mod vecdoc;
 mod vectorize;
 
+pub use append::{
+    generation_dir_name, resolve_layout, AppendOptions, AppendReport, CompactReport, OpenReport,
+    StoreLayout, WalStatus, CURRENT_FILE,
+};
 pub use builder::VecDocBuilder;
 pub use handle::StoreHandle;
 pub use ingest::{IngestOptions, IngestReport};

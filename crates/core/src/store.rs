@@ -143,6 +143,7 @@ impl Store {
         fs::create_dir_all(dir)?;
         let skeleton_bytes = skformat::write(&doc.skeleton, root);
         fs::write(dir.join("skeleton.vxsk"), &skeleton_bytes)?;
+        vx_obs::crash_point("store.mid_save");
 
         let mut entries = Vec::new();
         for (i, vector) in doc.vectors().iter().enumerate() {
@@ -177,9 +178,20 @@ impl Store {
         Ok(catalog)
     }
 
-    /// Strict load: every file must decode cleanly and agree with the
-    /// catalog.
+    /// Strict load: every file of the active generation must decode
+    /// cleanly and agree with the catalog, then any WAL tail is replayed
+    /// into the in-memory document (see `append.rs`). The returned
+    /// catalog describes the document *including* the overlay; use
+    /// [`Store::open_report`] for the on-disk base catalog and WAL
+    /// detail.
     pub fn open(dir: &Path) -> Result<(VecDoc, Catalog)> {
+        let report = Store::open_report(dir)?;
+        Ok((report.doc, report.catalog))
+    }
+
+    /// Loads one generation directory strictly, with no layout
+    /// resolution or WAL replay.
+    pub(crate) fn load_base(dir: &Path) -> Result<(VecDoc, Catalog)> {
         let catalog = read_catalog(dir)?;
         let skeleton_bytes = fs::read(dir.join("skeleton.vxsk"))?;
         let (skeleton, root) = skformat::read(&skeleton_bytes)?;
@@ -216,8 +228,11 @@ impl Store {
 
     /// Salvage load for the damaged golden stores: drives every reader in
     /// lenient mode off the catalog, tolerates missing vector files, and
-    /// reports exactly what was recovered. Strictly read-only.
+    /// reports exactly what was recovered. Strictly read-only (so no
+    /// stale-temp cleanup and no WAL replay; the active generation's
+    /// files are still resolved through `CURRENT`).
     pub fn open_salvage(dir: &Path) -> Result<SalvageStore> {
+        let dir = &Store::base_dir(dir)?;
         let catalog = read_catalog(dir)?;
         let skeleton_bytes = fs::read(dir.join("skeleton.vxsk"))?;
         let (raw, skeleton_report) = skformat::read_lenient(&skeleton_bytes)?;

@@ -278,8 +278,8 @@ impl Query {
 
     /// Runs the query against any [`Targets`] shape under one option
     /// set — the single execution entry point (the pre-0.3
-    /// `run`/`run_corpus`/`run_handle`/… family are thin shims over
-    /// this).
+    /// `run`/`run_corpus`/`run_handle`/… family is gone; [`Targets`]
+    /// conversions cover every shape it handled).
     ///
     /// Multi-document collection fans out over scoped threads when
     /// [`RunOptions::parallel`] is set (subject to `VX_PARALLEL` and the
@@ -318,94 +318,6 @@ impl Query {
         let targets = targets.into();
         let bindings = self.bindings(&targets);
         reduce::explain_with(&self.graph, &bindings, options)
-    }
-
-    /// Runs against a single document: every `doc("…")` name in the query
-    /// resolves to `doc`.
-    #[deprecated(since = "0.3.0", note = "use `run_with(doc, &RunOptions::default())`")]
-    pub fn run(&self, doc: &VecDoc) -> Result<QueryOutput> {
-        Ok(self.run_with(doc, &RunOptions::default())?.output)
-    }
-
-    /// Runs against a named corpus.
-    #[deprecated(since = "0.3.0", note = "use `run_with(docs, &RunOptions::default())`")]
-    pub fn run_corpus(&self, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
-        Ok(self.run_with(docs, &RunOptions::default())?.output)
-    }
-
-    /// As [`Query::run_corpus`] with the per-document fan-out disabled.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `run_with(docs, &RunOptions { parallel: false, .. })`"
-    )]
-    pub fn run_corpus_serial(&self, docs: &[(&str, &VecDoc)]) -> Result<QueryOutput> {
-        let options = RunOptions {
-            parallel: false,
-            ..RunOptions::default()
-        };
-        Ok(self.run_with(docs, &options)?.output)
-    }
-
-    /// Runs against one opened store.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `run_with(store, &RunOptions::default())`"
-    )]
-    pub fn run_handle(&self, store: &StoreHandle) -> Result<QueryOutput> {
-        Ok(self.run_with(store, &RunOptions::default())?.output)
-    }
-
-    /// Runs against several opened stores, resolved by name.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `run_with(stores, &RunOptions::default())`"
-    )]
-    pub fn run_handles(&self, stores: &[StoreHandle]) -> Result<QueryOutput> {
-        Ok(self.run_with(stores, &RunOptions::default())?.output)
-    }
-
-    /// As [`Query::run_handles`] with the per-document fan-out disabled.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `run_with(stores, &RunOptions { parallel: false, .. })`"
-    )]
-    pub fn run_handles_serial(&self, stores: &[StoreHandle]) -> Result<QueryOutput> {
-        let options = RunOptions {
-            parallel: false,
-            ..RunOptions::default()
-        };
-        Ok(self.run_with(stores, &options)?.output)
-    }
-
-    /// Like `run`, but instrumented.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `run_with(doc, &RunOptions { profile: true, .. })`"
-    )]
-    pub fn run_profiled(&self, doc: &VecDoc) -> Result<(QueryOutput, QueryProfile)> {
-        let options = RunOptions {
-            profile: true,
-            ..RunOptions::default()
-        };
-        let outcome = self.run_with(doc, &options)?;
-        Ok((outcome.output, outcome.profile.expect("profile requested")))
-    }
-
-    /// Like `run_corpus`, but instrumented.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `run_with(docs, &RunOptions { profile: true, .. })`"
-    )]
-    pub fn run_corpus_profiled(
-        &self,
-        docs: &[(&str, &VecDoc)],
-    ) -> Result<(QueryOutput, QueryProfile)> {
-        let options = RunOptions {
-            profile: true,
-            ..RunOptions::default()
-        };
-        let outcome = self.run_with(docs, &options)?;
-        Ok((outcome.output, outcome.profile.expect("profile requested")))
     }
 }
 
@@ -479,18 +391,4 @@ fn collect_texts(element: &Element, out: &mut Vec<String>) {
             _ => {}
         }
     }
-}
-
-/// Parses, compiles, and runs `query` against `doc`, returning values as
-/// lossy strings.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Query::new(query)?.run(doc)` and `QueryOutput::strings()`; \
-            this shim flattens document outputs to their text values"
-)]
-pub fn run(doc: &VecDoc, query: &str) -> Result<Vec<String>> {
-    Ok(Query::new(query)?
-        .run_with(doc, &RunOptions::default())?
-        .output
-        .strings())
 }

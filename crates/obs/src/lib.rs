@@ -496,6 +496,31 @@ pub fn format_event(name: &str, us: u64, fields: &[(&str, Value<'_>)]) -> String
     line
 }
 
+// ---------------------------------------------------------------------
+// Crash injection (recovery test hooks)
+// ---------------------------------------------------------------------
+
+/// Whether the crash point `name` is armed via the `VX_CRASH`
+/// environment variable. The durability layer threads named points
+/// through its multi-step operations (WAL append, generation write,
+/// catalog swap) so `tests/crash_recovery.rs` can kill the `vx` binary
+/// at each one and assert the store recovers. Reads the environment per
+/// call — every site is a coarse per-operation step, never a hot loop —
+/// so one process can be armed differently per subprocess spawn.
+pub fn crash_armed(name: &str) -> bool {
+    std::env::var("VX_CRASH").map(|v| v == name) == Ok(true)
+}
+
+/// Aborts the process if the crash point `name` is armed (simulating a
+/// `kill -9` at exactly this step). A no-op when `VX_CRASH` is unset or
+/// names a different point.
+pub fn crash_point(name: &str) {
+    if crash_armed(name) {
+        eprintln!("vx-obs: crash injection at `{name}`");
+        std::process::abort();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

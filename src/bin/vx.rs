@@ -39,6 +39,8 @@ use xmlvec::{Query, QueryOutput};
 
 const USAGE: &str = "usage:
   vx ingest <xml-file> <store-dir> [--auto] [--dom] [--drop-misc] [--frames N] [--metrics]
+  vx append <store-dir> <xml-file>... [--drop-misc]
+  vx compact <store-dir> [--auto]
   vx stats <store-dir> [--metrics]
   vx query <store-dir> <xquery> [--out values|xml] [--profile | --profile-json]
   vx explain <store-dir> <xquery> [--plan hash|inl|merge] [--no-indexes]
@@ -52,6 +54,15 @@ ingest options:
   --drop-misc  drop comments/processing instructions instead of erroring
   --frames N   spill buffer-pool frames for streaming ingest (default: 64)
   --metrics    report per-phase timings, pipeline tallies, and spill-pool stats
+
+append options:
+  --drop-misc  drop comments/processing instructions instead of erroring
+               (documents are journaled to the store's write-ahead log;
+               run `vx compact` to fold them into the vector files)
+
+compact options:
+  --auto       per-vector encoding choice for the new generation,
+               as `ingest --auto`
 
 stats options:
   --metrics    read vectors through a bounded buffer pool and report
@@ -110,6 +121,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("ingest") => ingest(&args[1..]),
+        Some("append") => append(&args[1..]),
+        Some("compact") => compact(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("explain") => explain(&args[1..]),
@@ -249,6 +262,83 @@ fn ingest(args: &[String]) {
     write_stdout(&mut stdout.lock(), out.as_bytes());
 }
 
+/// Journals documents to a store's write-ahead log. Validation (parse,
+/// root-tag match, vectorizability) happens before anything is written,
+/// so a failed append leaves the WAL untouched; a successful one is
+/// fsync'd as a single batch unless `VX_WAL_SYNC=off`.
+fn append(args: &[String]) {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut options = xmlvec::core::AppendOptions::default();
+    for arg in args {
+        match arg.as_str() {
+            "--drop-misc" => options.drop_unrepresentable = true,
+            flag if flag.starts_with('-') => fail_usage(format!("append: unknown flag `{flag}`")),
+            _ => positional.push(arg),
+        }
+    }
+    let Some((dir, files)) = positional.split_first() else {
+        fail_usage("append: expected <store-dir> <xml-file>...");
+    };
+    if files.is_empty() {
+        fail_usage("append: expected at least one <xml-file>");
+    }
+    let docs: Vec<Vec<u8>> = files
+        .iter()
+        .map(|f| std::fs::read(f).unwrap_or_else(|e| fail(format!("{f}: {e}"))))
+        .collect();
+    let report = Store::append_batch(Path::new(dir), &docs, &options)
+        .unwrap_or_else(|e| fail(format!("{dir}: {e}")));
+    let line = format!(
+        "appended {} doc{} -> {dir} (wal seq {}..{}, {} bytes, {}{})\n",
+        report.docs,
+        if report.docs == 1 { "" } else { "s" },
+        report.first_seq,
+        report.last_seq,
+        report.wal_bytes,
+        report.segment,
+        if report.synced { "" } else { ", unsynced" }
+    );
+    let stdout = std::io::stdout();
+    write_stdout(&mut stdout.lock(), line.as_bytes());
+}
+
+/// Folds the WAL tail into a fresh generation directory and swaps the
+/// `CURRENT` manifest; a store with nothing pending is left untouched.
+fn compact(args: &[String]) {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut compaction = Compaction::None;
+    for arg in args {
+        match arg.as_str() {
+            "--auto" => compaction = Compaction::Auto,
+            flag if flag.starts_with('-') => fail_usage(format!("compact: unknown flag `{flag}`")),
+            _ => positional.push(arg),
+        }
+    }
+    let [dir] = positional[..] else {
+        fail_usage("compact: expected <store-dir>");
+    };
+    let report =
+        Store::compact(Path::new(dir), compaction).unwrap_or_else(|e| fail(format!("{dir}: {e}")));
+    let line = if report.compacted {
+        format!(
+            "compacted {dir} -> {} ({} record{}, {} doc{}, generation {})\n",
+            report.gen_dir.display(),
+            report.records_applied,
+            if report.records_applied == 1 { "" } else { "s" },
+            report.docs_merged,
+            if report.docs_merged == 1 { "" } else { "s" },
+            report.generation
+        )
+    } else {
+        format!(
+            "nothing to compact in {dir} (generation {})\n",
+            report.generation
+        )
+    };
+    let stdout = std::io::stdout();
+    write_stdout(&mut stdout.lock(), line.as_bytes());
+}
+
 /// Opens a store strictly into a shared handle — the single
 /// store-open/error-reporting path for every store-reading command
 /// (`stats`, `query`, `reconstruct`, `serve`). Any missing file,
@@ -277,7 +367,13 @@ fn stats(args: &[String]) {
     // anything is printed — a damaged store yields exit 1 and no
     // partial output.
     let handle = open_store(dir);
-    let catalog = handle.catalog();
+    // Summary lines describe the *served* document (base generation plus
+    // any WAL overlay); the per-file survey below reads the on-disk
+    // catalog of the active generation, which lives in `base_dir` —
+    // `dir` itself for flat stores, `dir/gen-NNNN` after a compaction.
+    let catalog = handle.base_catalog();
+    let served = handle.catalog();
+    let base_dir = handle.base_dir().to_path_buf();
     let skeleton = handle.skeleton();
     let root = handle.root();
     let sizes = StoreSizes::measure(dir).unwrap_or_else(|e| fail(e));
@@ -292,7 +388,7 @@ fn stats(args: &[String]) {
     for entry in &catalog.vectors {
         let vector = if metrics {
             let (vector, stats) =
-                xmlvec::vector::Vector::open_paged(&dir.join(&entry.file), STATS_FRAMES)
+                xmlvec::vector::Vector::open_paged(&base_dir.join(&entry.file), STATS_FRAMES)
                     .unwrap_or_else(|e| {
                         fail(format!("vector `{}` ({}): {e}", entry.path, entry.file))
                     });
@@ -302,7 +398,7 @@ fn stats(args: &[String]) {
             pool.writebacks += stats.writebacks;
             vector
         } else {
-            xmlvec::vector::Vector::open(&dir.join(&entry.file))
+            xmlvec::vector::Vector::open(&base_dir.join(&entry.file))
                 .unwrap_or_else(|e| fail(format!("vector `{}` ({}): {e}", entry.path, entry.file)))
         };
         encodings.push((vector.stats().version, vector.stats().index_bytes));
@@ -340,12 +436,12 @@ fn stats(args: &[String]) {
     let _ = writeln!(
         out,
         "nodes        {} expanded, {} DAG nodes ({:.1}x compression), {} names",
-        catalog.node_count,
+        served.node_count,
         skeleton.len(),
-        catalog.node_count as f64 / skeleton.len() as f64,
+        served.node_count as f64 / skeleton.len() as f64,
         skeleton.names().len()
     );
-    debug_assert_eq!(skeleton.expanded_size(root), catalog.node_count);
+    debug_assert_eq!(skeleton.expanded_size(root), served.node_count);
     let _ = writeln!(
         out,
         "bytes        {} skeleton, {} vectors, {} catalog, {} total",
@@ -354,8 +450,38 @@ fn stats(args: &[String]) {
         sizes.catalog_bytes,
         sizes.total()
     );
-    let _ = writeln!(out, "text bytes   {}", catalog.text_bytes);
+    let _ = writeln!(out, "text bytes   {}", served.text_bytes);
     if metrics {
+        let wal = handle.wal();
+        if handle.generation() == 0 {
+            let _ = writeln!(out, "generation   0 (flat)");
+        } else {
+            let _ = writeln!(
+                out,
+                "generation   {} ({})",
+                handle.generation(),
+                base_dir.display()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "wal          {} segment{}, {} bytes, {} pending doc{} ({} bytes), applied seq {}",
+            wal.segments,
+            if wal.segments == 1 { "" } else { "s" },
+            wal.wal_bytes,
+            wal.pending_docs,
+            if wal.pending_docs == 1 { "" } else { "s" },
+            wal.pending_bytes,
+            wal.applied_seq
+        );
+        if wal.pending_docs > 0 {
+            let _ = writeln!(
+                out,
+                "wal overlay  serving {} vectors ({} on disk); run `vx compact` to fold",
+                served.vectors.len(),
+                catalog.vectors.len()
+            );
+        }
         let _ = writeln!(
             out,
             "frame cache  {} frames: {} hits, {} misses, {} evictions, {} writebacks",

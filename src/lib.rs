@@ -16,6 +16,7 @@
 //! | crate | layer |
 //! |---|---|
 //! | [`vx_obs`] | counters, span timers, `VX_LOG` event sink |
+//! | [`vx_wal`] | checksummed fsync'd write-ahead segment log |
 //! | [`vx_xml`] | XML 1.0 parser, DOM, writer |
 //! | [`vx_storage`] | varints, paged file access |
 //! | [`vx_skeleton`] | hash-consed DAG, `.vxsk` format, path index |
@@ -51,6 +52,7 @@ pub use vx_obs as obs;
 pub use vx_skeleton as skeleton;
 pub use vx_storage as storage;
 pub use vx_vector as vector;
+pub use vx_wal as wal;
 pub use vx_xml as xml;
 pub use vx_xquery as xquery;
 
@@ -146,20 +148,6 @@ pub fn to_xml(doc: &vx_core::VecDoc) -> Result<String> {
     ))
 }
 
-/// Runs an XQ query against a vectorized document, flattening the
-/// output to lossy strings.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `xmlvec::Query::new(xq)?.run_with(doc, &RunOptions::default())` \
-            to keep the compiled query and the structured `QueryOutput`"
-)]
-pub fn query(doc: &vx_core::VecDoc, xq: &str) -> Result<Vec<String>> {
-    Ok(Query::new(xq)?
-        .run_with(doc, &RunOptions::default())?
-        .output
-        .strings())
-}
-
 #[cfg(test)]
 mod tests {
     use crate::{Query, QueryOutput, RunOptions};
@@ -192,13 +180,5 @@ mod tests {
             out.to_xml().unwrap(),
             "<results><row><k>a</k></row><row><k>b</k></row></results>"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_answers() {
-        let doc = crate::vectorize_str("<r><e><k>a</k></e></r>").unwrap();
-        let out = crate::query(&doc, r#"for $e in doc("d")/r/e return $e/k"#).unwrap();
-        assert_eq!(out, vec!["a"]);
     }
 }

@@ -19,7 +19,17 @@
 //! | `GET /stats` | — | per-store catalog summary |
 //! | `GET /metrics` | — | per-endpoint latency histograms (count/p50/p99) |
 //! | `GET /healthz` | — | `{"status":"ok","stores":[…]}` |
+//! | `POST /reload` | — | reopens every store from disk and swaps the handles |
 //! | `POST /shutdown` | — | acknowledges, then drains the worker pool |
+//!
+//! **Hot reload.** Each store lives in a slot holding an
+//! `RwLock<StoreHandle>`; request handlers clone the handle (an `Arc`
+//! bump) under a read lock, so `POST /reload` can reopen the directory —
+//! picking up appended WAL records or a new compacted generation — and
+//! swap the slot under the write lock while in-flight queries finish
+//! against the handle they already cloned. The compiled-query cache
+//! survives reloads untouched: compilation only parses query text, never
+//! the store.
 //!
 //! Errors are structured JSON — `{"error":{"code","kind","message"}}` —
 //! mapped from [`vx_engine::EngineError`]: parse/unsupported/unknown-
@@ -32,7 +42,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -49,12 +59,40 @@ const MAX_BODY: usize = 1 << 20;
 /// releases its worker instead of pinning it forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Everything the worker threads share. Stores and compiled queries are
-/// immutable once inserted; the histograms are lock-free.
+/// One store's slot: the directory it reloads from and the currently
+/// served handle. Swapped whole by `POST /reload`; readers clone the
+/// handle (an `Arc` bump) and never hold the lock across evaluation.
+struct StoreSlot {
+    dir: PathBuf,
+    handle: RwLock<StoreHandle>,
+}
+
+impl StoreSlot {
+    /// Clones the current handle. A poisoned lock (a panicking writer)
+    /// still holds a valid handle — reloads build the new handle fully
+    /// before taking the write lock — so serving continues.
+    fn get(&self) -> StoreHandle {
+        match self.handle.read() {
+            Ok(handle) => handle.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    fn swap(&self, new_handle: StoreHandle) {
+        match self.handle.write() {
+            Ok(mut handle) => *handle = new_handle,
+            Err(poisoned) => *poisoned.into_inner() = new_handle,
+        }
+    }
+}
+
+/// Everything the worker threads share. Store slots swap atomically on
+/// reload and compiled queries are immutable once inserted; the
+/// histograms are lock-free.
 struct AppState {
-    /// Store name (directory basename) → opened handle, plus the names
-    /// in startup order for deterministic listings.
-    stores: HashMap<String, StoreHandle>,
+    /// Store name (directory basename) → slot, plus the names in
+    /// startup order for deterministic listings.
+    stores: HashMap<String, StoreSlot>,
     order: Vec<String>,
     /// `(store name, query text)` → compiled query. Compile once, run
     /// from any worker.
@@ -68,6 +106,8 @@ struct AppState {
     requests: AtomicU64,
     errors: AtomicU64,
     cache_hits: AtomicU64,
+    /// Successful `POST /reload` store swaps.
+    reloads: AtomicU64,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -102,7 +142,11 @@ impl Server {
         for dir in store_dirs {
             let handle = StoreHandle::open(dir).map_err(crate::Error::Core)?;
             let name = handle.name().to_string();
-            if stores.insert(name.clone(), handle).is_some() {
+            let slot = StoreSlot {
+                dir: dir.to_path_buf(),
+                handle: RwLock::new(handle),
+            };
+            if stores.insert(name.clone(), slot).is_some() {
                 return Err(crate::Error::Io(std::io::Error::new(
                     std::io::ErrorKind::InvalidInput,
                     format!("serve: duplicate store name `{name}`"),
@@ -124,6 +168,7 @@ impl Server {
                 requests: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
+                reloads: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
             }),
@@ -359,6 +404,7 @@ fn engine_error_response(e: &EngineError) -> (u16, String) {
 fn handle(request: &Request, state: &Arc<AppState>) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/query") => handle_query(request, state),
+        ("POST", "/reload") => handle_reload(state),
         ("GET", "/stats") => (200, stats_json(state)),
         ("GET", "/metrics") => (200, metrics_json(state)),
         ("GET", "/healthz") => (200, healthz_json(state)),
@@ -387,8 +433,67 @@ fn handle(request: &Request, state: &Arc<AppState>) -> (u16, String) {
 fn known_path(path: &str) -> bool {
     matches!(
         path,
-        "/query" | "/stats" | "/metrics" | "/healthz" | "/shutdown"
+        "/query" | "/stats" | "/metrics" | "/healthz" | "/reload" | "/shutdown"
     )
+}
+
+/// `POST /reload`: reopens every store directory and swaps the slots.
+/// In-flight queries keep the handle they already cloned; new requests
+/// see the fresh one — appended WAL records become visible, a compacted
+/// generation takes over, all without dropping a connection. A store
+/// that fails to reopen keeps its old handle and turns the response
+/// into a 500 listing the failure; the other stores still swap.
+fn handle_reload(state: &Arc<AppState>) -> (u16, String) {
+    let mut stores = Vec::new();
+    let mut failures = 0u64;
+    for name in &state.order {
+        let slot = &state.stores[name];
+        let start = Instant::now();
+        match StoreHandle::open(&slot.dir) {
+            Ok(new_handle) => {
+                let generation = new_handle.generation();
+                let wal_pending = new_handle.wal().pending_docs;
+                let vectors = new_handle.catalog().vectors.len();
+                slot.swap(new_handle);
+                state.reloads.fetch_add(1, Ordering::Relaxed);
+                if vx_obs::log_enabled() {
+                    vx_obs::event(
+                        "serve.reload",
+                        &[
+                            ("store", vx_obs::Value::Str(name)),
+                            ("generation", vx_obs::Value::U64(generation as u64)),
+                            ("wal_pending", vx_obs::Value::U64(wal_pending)),
+                            ("secs", vx_obs::Value::F64(start.elapsed().as_secs_f64())),
+                        ],
+                    );
+                }
+                stores.push(Json::Object(vec![
+                    ("name".into(), Json::Str(name.clone())),
+                    ("status".into(), Json::Str("reloaded".into())),
+                    ("generation".into(), Json::Num(generation as f64)),
+                    ("wal_pending".into(), Json::Num(wal_pending as f64)),
+                    ("vectors".into(), Json::Num(vectors as f64)),
+                ]));
+            }
+            Err(e) => {
+                failures += 1;
+                stores.push(Json::Object(vec![
+                    ("name".into(), Json::Str(name.clone())),
+                    ("status".into(), Json::Str("error".into())),
+                    ("message".into(), Json::Str(e.to_string())),
+                ]));
+            }
+        }
+    }
+    let status = if failures == 0 { 200 } else { 500 };
+    let body = json::to_string_pretty(&Json::Object(vec![
+        (
+            "status".into(),
+            Json::Str(if failures == 0 { "ok" } else { "partial" }.into()),
+        ),
+        ("stores".into(), Json::Array(stores)),
+    ]));
+    (status, body)
 }
 
 fn handle_query(request: &Request, state: &Arc<AppState>) -> (u16, String) {
@@ -434,9 +539,12 @@ fn handle_query(request: &Request, state: &Arc<AppState>) -> (u16, String) {
             )
         }
     };
-    let store = match &store_name {
+    // Clone the served handle out of its slot (an `Arc` bump); the
+    // evaluation below never holds the slot lock, so a concurrent
+    // reload swaps freely while this query finishes on its snapshot.
+    let store: Option<StoreHandle> = match &store_name {
         Some(name) => match state.stores.get(name) {
-            Some(store) => Some(store),
+            Some(slot) => Some(slot.get()),
             None => {
                 return (
                     404,
@@ -480,13 +588,13 @@ fn handle_query(request: &Request, state: &Arc<AppState>) -> (u16, String) {
         .and_then(Json::as_bool)
         .unwrap_or(false);
     let all: Vec<StoreHandle>;
-    let targets = match store {
+    let targets = match &store {
         Some(store) => Targets::Handle(store),
         None => {
             all = state
                 .order
                 .iter()
-                .map(|name| state.stores[name].clone())
+                .map(|name| state.stores[name].get())
                 .collect();
             Targets::Handles(&all)
         }
@@ -542,7 +650,7 @@ fn stats_json(state: &AppState) -> String {
         .order
         .iter()
         .map(|name| {
-            let handle = &state.stores[name];
+            let handle = state.stores[name].get();
             let catalog = handle.catalog();
             Json::Object(vec![
                 ("name".into(), Json::Str(name.clone())),
@@ -553,6 +661,11 @@ fn stats_json(state: &AppState) -> String {
                     Json::Num(handle.skeleton().len() as f64),
                 ),
                 ("text_bytes".into(), Json::Num(catalog.text_bytes as f64)),
+                ("generation".into(), Json::Num(handle.generation() as f64)),
+                (
+                    "wal_pending".into(),
+                    Json::Num(handle.wal().pending_docs as f64),
+                ),
             ])
         })
         .collect();
@@ -586,6 +699,10 @@ fn metrics_json(state: &AppState) -> String {
         (
             "query_cache_hits".into(),
             Json::Num(state.cache_hits.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "reloads".into(),
+            Json::Num(state.reloads.load(Ordering::Relaxed) as f64),
         ),
         (
             "endpoints".into(),

@@ -410,3 +410,118 @@ fn ingest_missing_input_fails() {
     assert_code(&out, 1, "ingest missing input");
     assert!(stderr(&out).starts_with("vx: "));
 }
+
+/// `vx append` + `vx compact`: appended documents answer queries before
+/// and after compaction, the compacted store reconstructs to the
+/// combined document, and both commands report what they did.
+#[test]
+fn append_and_compact_round_trip() {
+    let scratch = Scratch::new("append");
+    let doc = xmlvec::data::medline(7, 20);
+    let (_, store) = ingest(&scratch, "ml", &doc, &[]);
+    let store_arg = store.to_str().unwrap();
+
+    // Two more medline batches, serialized as standalone documents with
+    // the same root tag.
+    let extra1 = xmlvec::data::medline(8, 5);
+    let extra2 = xmlvec::data::medline(9, 5);
+    let extra1_file = scratch.path("extra1.xml");
+    let extra2_file = scratch.path("extra2.xml");
+    std::fs::write(
+        &extra1_file,
+        write_document(&extra1, &WriteOptions::compact()),
+    )
+    .unwrap();
+    std::fs::write(
+        &extra2_file,
+        write_document(&extra2, &WriteOptions::compact()),
+    )
+    .unwrap();
+
+    let xq = r#"for $c in doc("ml")//MedlineCitation return $c/PMID"#;
+    let count_lines = |out: &Output| stdout(out).lines().count();
+    let before = run(&["query", store_arg, xq]);
+    assert_code(&before, 0, "query before append");
+
+    let appended = run(&[
+        "append",
+        store_arg,
+        extra1_file.to_str().unwrap(),
+        extra2_file.to_str().unwrap(),
+    ]);
+    assert_code(&appended, 0, "append");
+    assert!(
+        stdout(&appended).starts_with("appended 2 docs"),
+        "append report: {}",
+        stdout(&appended)
+    );
+
+    // The WAL overlay serves immediately: 10 more citations.
+    let after = run(&["query", store_arg, xq]);
+    assert_code(&after, 0, "query after append");
+    assert_eq!(count_lines(&after), count_lines(&before) + 10);
+
+    // stats --metrics reports the journal.
+    let stats = run(&["stats", store_arg, "--metrics"]);
+    assert_code(&stats, 0, "stats with pending WAL");
+    assert!(
+        stdout(&stats).contains("2 pending docs"),
+        "{}",
+        stdout(&stats)
+    );
+
+    // Compact, then identical answers from the new generation.
+    let compacted = run(&["compact", store_arg]);
+    assert_code(&compacted, 0, "compact");
+    assert!(
+        stdout(&compacted).starts_with("compacted"),
+        "compact report: {}",
+        stdout(&compacted)
+    );
+    let final_q = run(&["query", store_arg, xq]);
+    assert_eq!(
+        stdout(&final_q),
+        stdout(&after),
+        "answers changed across compact"
+    );
+
+    // A second compact is a no-op.
+    let again = run(&["compact", store_arg]);
+    assert_code(&again, 0, "compact no-op");
+    assert!(stdout(&again).starts_with("nothing to compact"));
+
+    // The compacted store reconstructs to the combined document.
+    let mut combined = doc.clone();
+    combined.root.children.extend(extra1.root.children.clone());
+    combined.root.children.extend(extra2.root.children.clone());
+    let expected = write_document(&combined, &WriteOptions::compact());
+    let back = run(&["reconstruct", store_arg]);
+    assert_code(&back, 0, "reconstruct after compact");
+    assert_eq!(stdout(&back), expected, "compacted reconstruction drifted");
+}
+
+/// Append validation failures are operational (exit 1) and leave the
+/// store serving exactly what it served before.
+#[test]
+fn append_rejects_mismatched_documents() {
+    let scratch = Scratch::new("appendbad");
+    let doc = xmlvec::data::skyserver(2, 10);
+    let (_, store) = ingest(&scratch, "ss", &doc, &[]);
+    let store_arg = store.to_str().unwrap();
+    let bad = scratch.path("bad.xml");
+    std::fs::write(&bad, "<wrongroot><x>1</x></wrongroot>").unwrap();
+    let out = run(&["append", store_arg, bad.to_str().unwrap()]);
+    assert_code(&out, 1, "append wrong root");
+    assert!(stderr(&out).contains("does not match store root"));
+
+    // Usage errors for both commands.
+    for args in [
+        vec!["append", store_arg],
+        vec!["append"],
+        vec!["compact"],
+        vec!["compact", store_arg, "--wat"],
+    ] {
+        let out = run(&args);
+        assert_code(&out, 2, &format!("{args:?}"));
+    }
+}

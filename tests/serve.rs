@@ -263,3 +263,100 @@ fn json_str(s: &str) -> String {
     out.push('"');
     out
 }
+
+#[test]
+fn reload_picks_up_appends_and_compactions() {
+    use xmlvec::core::{AppendOptions, Compaction, Store};
+
+    let dir = std::env::temp_dir().join(format!("vx-serve-{}-reload", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = xmlvec::vectorize_str("<lib><book><title>T1</title></book></lib>").unwrap();
+    Store::save(&dir, &base, Compaction::None).unwrap();
+    let (addr, worker) = start(vec![dir.clone()], 2);
+
+    let xq = r#"for $b in doc("store")/lib/book return $b/title"#;
+    let body = format!(
+        "{{\"store\": {}, \"query\": {}}}",
+        json_str(name_of(&dir)),
+        json_str(xq)
+    );
+    let values = |answer: &str| -> Vec<String> {
+        json::parse(answer)
+            .unwrap()
+            .get("values")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap().to_string())
+            .collect()
+    };
+
+    let (status, answer) = request(addr, "POST", "/query", &body);
+    assert_eq!(status, 200, "pre-append query: {answer}");
+    assert_eq!(values(&answer), ["T1"]);
+
+    // Append behind the server's back: the running handle keeps serving
+    // the old snapshot until a reload.
+    Store::append_batch(
+        &dir,
+        &["<lib><book><title>T2</title></book></lib>".into()],
+        &AppendOptions::default(),
+    )
+    .unwrap();
+    let (_, answer) = request(addr, "POST", "/query", &body);
+    assert_eq!(values(&answer), ["T1"], "no reload yet, snapshot serves");
+
+    let (status, answer) = request(addr, "POST", "/reload", "");
+    assert_eq!(status, 200, "reload failed: {answer}");
+    let parsed = json::parse(&answer).unwrap();
+    assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+    let stores = parsed.get("stores").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        stores[0].get("wal_pending").and_then(Json::as_u64),
+        Some(1),
+        "reloaded handle should carry the WAL overlay"
+    );
+
+    // The append is visible; the compiled query survived the swap (the
+    // second identical request must be a cache hit, checked below).
+    let (_, answer) = request(addr, "POST", "/query", &body);
+    assert_eq!(values(&answer), ["T1", "T2"]);
+
+    // Compact on disk, reload again: same answers from generation 1.
+    Store::compact(&dir, Compaction::None).unwrap();
+    let (status, _) = request(addr, "POST", "/reload", "");
+    assert_eq!(status, 200);
+    let (_, answer) = request(addr, "POST", "/query", &body);
+    assert_eq!(values(&answer), ["T1", "T2"]);
+    let (_, stats) = request(addr, "GET", "/stats", "");
+    let parsed = json::parse(&stats).unwrap();
+    let store_stats = &parsed.get("stores").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(
+        store_stats.get("generation").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        store_stats.get("wal_pending").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    let parsed = json::parse(&metrics).unwrap();
+    assert_eq!(parsed.get("reloads").and_then(Json::as_u64), Some(2));
+    assert!(
+        parsed
+            .get("query_cache_hits")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 3,
+        "query cache must survive reloads"
+    );
+
+    shutdown(addr, worker);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The store's serve name: its directory basename.
+fn name_of(dir: &std::path::Path) -> &str {
+    dir.file_name().unwrap().to_str().unwrap()
+}
