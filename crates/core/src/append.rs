@@ -187,7 +187,7 @@ pub struct OpenReport {
     pub wal: WalStatus,
     /// Stale temp files/directories removed before opening (crash
     /// leftovers: `catalog.json.tmp`, `CURRENT.tmp`, `.ingest.spill`,
-    /// superseded generations).
+    /// superseded generations, fully-applied WAL segments).
     pub cleaned: Vec<String>,
 }
 
@@ -243,11 +243,22 @@ impl Store {
     /// in-memory overlay.
     pub fn open_report(dir: &Path) -> Result<OpenReport> {
         let layout = resolve_layout(dir)?;
-        let cleaned = cleanup_stale(&layout);
+        let mut cleaned = cleanup_stale(&layout);
         let base = layout.base();
         let (doc, base_catalog) = Store::load_base(&base)?;
 
         let wal = Wal::open(dir);
+        // A crash between the CURRENT swap and compaction's purge
+        // leaves fully-applied segments behind; the next compact
+        // no-ops, so drop them here (best-effort, like the rest of the
+        // salvage) or they are rescanned on every open forever.
+        if layout.wal_applied > 0 {
+            if let Ok(purged) = wal.purge_upto(layout.wal_applied) {
+                if purged > 0 {
+                    cleaned.push(format!("wal: {purged} applied segment(s)"));
+                }
+            }
+        }
         let scan = wal.scan().map_err(wal_error)?;
         let pending: Vec<&Record> = scan
             .records
@@ -836,6 +847,33 @@ mod tests {
         let open = Store::open_report(&dir).unwrap();
         assert!(open.cleaned.contains(&"catalog.json".to_string()));
         assert!(!dir.join("v000000.vec").exists());
+        assert_eq!(
+            reconstruct(&open.doc).unwrap().root,
+            combined(&[BASE, ADD1]).root
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_purges_applied_wal_segments_left_by_a_crashed_compaction() {
+        let dir = temp_dir("purge-on-open");
+        save_fresh(&dir, BASE);
+        Store::append_batch(&dir, &[ADD1.into()], &AppendOptions::default()).unwrap();
+        Store::compact(&dir, Compaction::None).unwrap();
+        // Simulate a crash between the CURRENT swap and the purge: put
+        // a segment holding only already-applied records (seq 1 <=
+        // wal_applied) back into wal/.
+        let wal = vx_wal::Wal::with_sync(&dir, SyncMode::Off);
+        wal.append(1, &[(KIND_APPEND_DOC, 0, ADD1.as_bytes())])
+            .unwrap();
+
+        // Open drops the applied segment instead of rescanning it on
+        // every open forever; answers are unaffected.
+        let open = Store::open_report(&dir).unwrap();
+        assert_eq!(open.wal.pending_records, 0);
+        assert_eq!(open.wal.segments, 0, "applied segment must be purged");
+        assert!(open.cleaned.iter().any(|c| c.starts_with("wal:")));
+        assert_eq!(fs::read_dir(wal.dir()).unwrap().count(), 0);
         assert_eq!(
             reconstruct(&open.doc).unwrap().root,
             combined(&[BASE, ADD1]).root

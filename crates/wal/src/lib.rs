@@ -24,12 +24,21 @@
 //! applies a record twice.
 //!
 //! **Torn-tail tolerance**: a crash mid-append can leave a partial
-//! frame at the end of the last segment. [`Wal::scan`] stops at the
-//! first frame that is short, oversized, or fails its CRC and reports
-//! the byte offset; every record before it is intact (each is guarded
-//! by its own checksum). The next [`Wal::append`] truncates the torn
-//! bytes before writing, so the log never accumulates garbage between
-//! valid records.
+//! frame at the end of a segment, or a zero-length / header-less
+//! segment file from a crash mid-creation. [`Wal::scan`] skips
+//! zero-length segments entirely (they can hold no acknowledged
+//! record), drops unreadable tail bytes at the last good frame, and
+//! reports both; every record it returns is intact (each is guarded by
+//! its own checksum). The next [`Wal::append`] deletes torn-creation
+//! files and truncates torn tails before writing, so the log never
+//! accumulates garbage between valid records — and fresh segments are
+//! always named past every file that ever existed, so a salvaged name
+//! is never reused over durable data.
+//!
+//! Tolerance is strictly for crash shapes: an *intact* frame after a
+//! bad one, or a sequence gap where a dropped tail is followed by more
+//! records, cannot come from a torn write and fails the scan with
+//! [`WalError::Corrupt`] instead of silently losing data.
 //!
 //! **Sync policy**: appends group-commit — all records of one call are
 //! written, then a single `fdatasync` makes them durable (plus a
@@ -73,6 +82,10 @@ pub enum WalError {
     Io(std::io::Error),
     /// A segment file exists but does not start with the magic header.
     BadSegment(String),
+    /// Readable data exists past a bad frame — real corruption in the
+    /// middle of the log, not a crash-torn tail. Replaying around it
+    /// would silently lose acknowledged records, so the scan fails.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for WalError {
@@ -80,6 +93,7 @@ impl std::fmt::Display for WalError {
         match self {
             WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
             WalError::BadSegment(m) => write!(f, "bad WAL segment: {m}"),
+            WalError::Corrupt(m) => write!(f, "corrupt WAL: {m}"),
         }
     }
 }
@@ -130,14 +144,22 @@ impl SyncMode {
 pub struct Scan {
     /// All intact records across all segments, in sequence order.
     pub records: Vec<Record>,
-    /// Segment file names in scan order.
+    /// Non-empty segment file names in scan order.
     pub segments: Vec<String>,
+    /// Zero-length segment files: torn segment creations (or unlinks
+    /// that never persisted). They hold no data, are skipped by the
+    /// scan, and are deleted by the next append or purge.
+    pub empty_segments: Vec<String>,
     /// Total bytes across segment files.
     pub bytes: u64,
-    /// Trailing bytes in the last scanned segment that do not form a
-    /// whole checksummed frame (a crash mid-append), if any: the
-    /// segment name and the offset the good prefix ends at.
+    /// The first salvageable tear (same shape as the [`Scan::salvage`]
+    /// entries), if any — kept for reporting convenience.
     pub torn: Option<(String, u64)>,
+    /// Every segment with unreadable trailing bytes, as
+    /// `(name, good_end_offset)`: the next append truncates the segment
+    /// to the offset, or deletes it outright when the offset precedes
+    /// the end of the magic header (a torn creation).
+    pub salvage: Vec<(String, u64)>,
     /// Bytes past the last intact frame (0 when the log ends cleanly).
     pub torn_bytes: u64,
     /// The sequence number the next appended record should get (one
@@ -187,10 +209,14 @@ impl Wal {
         &self.dir
     }
 
-    /// Scans every segment in order and decodes all intact records.
-    /// Stops (without error) at the first torn or corrupt frame and
-    /// reports it in [`Scan::torn`] — everything before it is trusted,
-    /// everything after it is not.
+    /// Scans every segment in numeric order and decodes all intact
+    /// records. Crash shapes are tolerated without error — zero-length
+    /// segments are skipped, unreadable tail bytes are dropped at the
+    /// last good frame and reported in [`Scan::salvage`] — but damage a
+    /// torn write cannot produce (an intact frame after a bad one, a
+    /// header-less segment shadowing later ones, or a sequence gap
+    /// after a dropped tail) fails with [`WalError::Corrupt`] rather
+    /// than silently losing acknowledged records.
     pub fn scan(&self) -> Result<Scan> {
         let mut scan = Scan {
             next_seq: 1,
@@ -199,40 +225,83 @@ impl Wal {
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return Ok(scan); // no wal/ directory: empty log
         };
-        let mut names: Vec<String> = entries
+        let mut names: Vec<(u64, String)> = entries
             .filter_map(|e| e.ok())
             .map(|e| e.file_name().to_string_lossy().into_owned())
-            .filter(|n| n.starts_with("seg-") && n.ends_with(".wal"))
+            .filter_map(|n| segment_number(&n).map(|number| (number, n)))
             .collect();
         names.sort();
-        'segments: for name in names {
-            let path = self.dir.join(&name);
+        let mut segments: Vec<(String, Vec<u8>)> = Vec::new();
+        for (_, name) in names {
             let mut bytes = Vec::new();
-            fs::File::open(&path)?.read_to_end(&mut bytes)?;
+            fs::File::open(self.dir.join(&name))?.read_to_end(&mut bytes)?;
+            if bytes.is_empty() {
+                scan.empty_segments.push(name);
+                continue;
+            }
             scan.bytes += bytes.len() as u64;
+            segments.push((name, bytes));
+        }
+        // Set after a tolerated mid-log tear: the next decoded record
+        // must continue the sequence exactly, else an acknowledged
+        // record was lost and the tear was not a crash artifact.
+        let mut expect_seq: Option<u64> = None;
+        let segment_count = segments.len();
+        for (index, (name, bytes)) in segments.into_iter().enumerate() {
+            let is_last = index + 1 == segment_count;
             scan.segments.push(name.clone());
             if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
-                // A header-less file is a torn segment creation.
-                scan.torn_bytes = bytes.len() as u64;
-                scan.torn = Some((name, 0));
-                break 'segments;
+                // A header-less file is a torn segment creation — but
+                // only ever as the newest segment; anywhere else it
+                // would shadow durable data behind it.
+                if !is_last {
+                    return Err(WalError::Corrupt(format!(
+                        "segment {name} has no valid header but later segments exist"
+                    )));
+                }
+                scan.torn_bytes += bytes.len() as u64;
+                scan.salvage.push((name, 0));
+                break;
             }
             let mut offset = SEGMENT_MAGIC.len();
             while offset < bytes.len() {
                 match decode_frame(&bytes[offset..]) {
                     Some((record, consumed)) => {
+                        if let Some(expected) = expect_seq.take() {
+                            if record.seq != expected {
+                                return Err(WalError::Corrupt(format!(
+                                    "segment {name}: sequence {} follows a dropped tail \
+                                     (expected {expected}) — records were lost",
+                                    record.seq
+                                )));
+                            }
+                        }
                         scan.next_seq = scan.next_seq.max(record.seq + 1);
                         scan.records.push(record);
                         offset += consumed;
                     }
                     None => {
-                        scan.torn_bytes = (bytes.len() - offset) as u64;
-                        scan.torn = Some((name, offset as u64));
-                        break 'segments;
+                        if intact_frame_after(&bytes[offset..]) {
+                            return Err(WalError::Corrupt(format!(
+                                "segment {name}: intact frames follow a bad frame at \
+                                 offset {offset}"
+                            )));
+                        }
+                        scan.torn_bytes += (bytes.len() - offset) as u64;
+                        scan.salvage.push((name.clone(), offset as u64));
+                        if !is_last {
+                            // An abandoned tail whose truncation never
+                            // persisted; later segments carry the
+                            // re-appended records — verified above by
+                            // sequence continuity.
+                            expect_seq = Some(scan.next_seq);
+                        }
+                        break;
                     }
                 }
             }
         }
+        scan.torn = scan.salvage.first().cloned();
         Ok(scan)
     }
 
@@ -240,8 +309,9 @@ impl Wal {
     /// consecutive sequence numbers starting at
     /// `max(scan.next_seq, min_seq)` (the caller passes the manifest's
     /// `wal_applied + 1` so sequences stay monotonic across
-    /// compactions, which purge the log). Truncates any torn tail left
-    /// by a previous crash before writing, writes every frame, then
+    /// compactions, which purge the log). Salvages crash leftovers
+    /// first — deletes zero-length and header-less torn-creation
+    /// segments, truncates torn tails — then writes every frame and
     /// group-commits with a single `fdatasync` under [`SyncMode::Data`].
     pub fn append(&self, min_seq: u64, entries: &[(u8, u8, &[u8])]) -> Result<Appended> {
         assert!(!entries.is_empty(), "append of zero records");
@@ -249,43 +319,54 @@ impl Wal {
         let first_seq = scan.next_seq.max(min_seq);
         fs::create_dir_all(&self.dir)?;
 
-        // Pick the segment: continue the last one below the roll
-        // threshold, else start a fresh one.
-        let (segment, created, good_len) = match scan.segments.last() {
-            Some(last) => {
-                let path = self.dir.join(last);
-                let len = fs::metadata(&path)?.len();
-                let good = match &scan.torn {
-                    Some((name, offset)) if name == last => *offset,
-                    _ => len,
-                };
-                if good >= SEGMENT_ROLL_BYTES || good < SEGMENT_MAGIC.len() as u64 {
-                    (next_segment_name(last), true, 0)
-                } else {
-                    (last.clone(), false, good)
-                }
-            }
-            None => ("seg-000001.wal".to_string(), true, 0),
-        };
-        if let Some((torn_name, offset)) = &scan.torn {
-            // Salvage: drop the unreadable tail so the log stays a
-            // clean sequence of checksummed frames.
-            if torn_name == &segment && !created {
-                let file = fs::OpenOptions::new()
-                    .write(true)
-                    .open(self.dir.join(torn_name))?;
+        // Salvage: zero-length files are torn creations holding no
+        // data; header-less files likewise hold nothing decodable.
+        // Both are *deleted* — truncating them in place would leave a
+        // file that shadows every later segment on the next scan.
+        // Segments with a readable prefix are truncated to it.
+        for name in &scan.empty_segments {
+            let _ = fs::remove_file(self.dir.join(name));
+            emit_salvage(name, 0);
+        }
+        for (name, offset) in &scan.salvage {
+            let path = self.dir.join(name);
+            if *offset < SEGMENT_MAGIC.len() as u64 {
+                let _ = fs::remove_file(&path);
+                emit_salvage(name, 0);
+            } else {
+                let file = fs::OpenOptions::new().write(true).open(&path)?;
                 file.set_len(*offset)?;
-                emit_salvage(torn_name, *offset);
-            } else if torn_name != &segment {
-                // The torn segment is being abandoned (roll / headerless
-                // file): truncate it too so a later scan ends cleanly.
-                let file = fs::OpenOptions::new()
-                    .write(true)
-                    .open(self.dir.join(torn_name))?;
-                file.set_len(*offset)?;
-                emit_salvage(torn_name, *offset);
+                emit_salvage(name, *offset);
             }
         }
+
+        // Pick the segment: continue the last data segment while it
+        // keeps a valid header and room below the roll threshold, else
+        // start a fresh one named past every file that existed — never
+        // reuse the name of a segment salvaged away above.
+        let (segment, created, good_len) = {
+            let continued = scan.segments.last().and_then(|last| {
+                let good = match scan.salvage.iter().find(|(name, _)| name == last) {
+                    Some((_, offset)) => *offset,
+                    None => fs::metadata(self.dir.join(last)).ok()?.len(),
+                };
+                let fits = good >= SEGMENT_MAGIC.len() as u64 && good < SEGMENT_ROLL_BYTES;
+                fits.then(|| (last.clone(), good))
+            });
+            match continued {
+                Some((name, good)) => (name, false, good),
+                None => {
+                    let highest = scan
+                        .segments
+                        .iter()
+                        .chain(scan.empty_segments.iter())
+                        .filter_map(|name| segment_number(name))
+                        .max()
+                        .unwrap_or(0);
+                    (format!("seg-{:06}.wal", highest + 1), true, 0)
+                }
+            }
+        };
 
         vx_obs::crash_point("wal.before_append");
         let path = self.dir.join(&segment);
@@ -338,12 +419,18 @@ impl Wal {
     }
 
     /// Removes every segment whose records are all `<= seq` (after a
-    /// compaction folded them into a generation). Segments holding any
-    /// newer record are kept whole — replay skips the applied prefix by
-    /// sequence number. Returns the number of segments removed.
+    /// compaction folded them into a generation), plus zero-length
+    /// torn-creation files. Segments holding any newer record are kept
+    /// whole — replay skips the applied prefix by sequence number.
+    /// Returns the number of segments removed.
     pub fn purge_upto(&self, seq: u64) -> Result<u64> {
         let scan = self.scan()?;
         let mut removed = 0u64;
+        for name in &scan.empty_segments {
+            if fs::remove_file(self.dir.join(name)).is_ok() {
+                removed += 1;
+            }
+        }
         for name in &scan.segments {
             let path = self.dir.join(name);
             // Re-decode just this segment to find its max seq.
@@ -377,13 +464,20 @@ impl Wal {
     }
 }
 
-fn next_segment_name(last: &str) -> String {
-    let number: u64 = last
-        .strip_prefix("seg-")
+/// Parses the number out of a `seg-NNNNNN.wal` file name. Segments are
+/// ordered by this (not lexicographically: past `seg-999999` the name
+/// grows a digit and would sort before shorter names).
+fn segment_number(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")
         .and_then(|s| s.strip_suffix(".wal"))
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    format!("seg-{:06}.wal", number + 1)
+}
+
+/// Whether any byte offset past a bad frame decodes as an intact frame.
+/// A torn write leaves nothing readable after the tear, so a hit means
+/// real corruption. Only runs on the already-failed path.
+fn intact_frame_after(bytes: &[u8]) -> bool {
+    (1..bytes.len()).any(|start| decode_frame(&bytes[start..]).is_some())
 }
 
 fn emit_salvage(segment: &str, offset: u64) {
@@ -569,8 +663,21 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    /// Builds a segment file by hand: magic, one `<x/>` record per seq,
+    /// then `trailing` garbage bytes.
+    fn write_segment(dir: &Path, name: &str, seqs: &[u64], trailing: &[u8]) {
+        let wal_dir = dir.join(WAL_DIR);
+        fs::create_dir_all(&wal_dir).unwrap();
+        let mut bytes = SEGMENT_MAGIC.to_vec();
+        for &seq in seqs {
+            encode_frame(&mut bytes, seq, KIND_APPEND_DOC, 0, b"<x/>");
+        }
+        bytes.extend_from_slice(trailing);
+        fs::write(wal_dir.join(name), bytes).unwrap();
+    }
+
     #[test]
-    fn corrupt_crc_stops_replay() {
+    fn corrupt_frame_with_intact_frames_after_fails_the_scan() {
         let dir = temp_store("crc");
         let w = wal(&dir);
         w.append(
@@ -580,13 +687,137 @@ mod tests {
         .unwrap();
         let seg = dir.join(WAL_DIR).join("seg-000001.wal");
         let mut bytes = fs::read(&seg).unwrap();
-        // Flip a byte inside the first record's body.
+        // Flip a byte inside the first record's body: the second record
+        // stays readable, so this is mid-log corruption, not a torn
+        // tail — DESIGN.md §11 says the scan must fail, not truncate.
         let hit = SEGMENT_MAGIC.len() + FRAME_HEADER + PAYLOAD_PREFIX;
         bytes[hit] ^= 0xFF;
         fs::write(&seg, &bytes).unwrap();
+        assert!(matches!(w.scan(), Err(WalError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_last_frame_alone_is_a_torn_tail() {
+        let dir = temp_store("crc-tail");
+        let w = wal(&dir);
+        w.append(
+            1,
+            &[(KIND_APPEND_DOC, 0, b"<a/>"), (KIND_APPEND_DOC, 0, b"<b/>")],
+        )
+        .unwrap();
+        let seg = dir.join(WAL_DIR).join("seg-000001.wal");
+        let mut bytes = fs::read(&seg).unwrap();
+        // Damage the *last* frame: nothing readable follows, so this is
+        // indistinguishable from a torn write and stays tolerated.
+        let hit = bytes.len() - 1;
+        bytes[hit] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
         let scan = w.scan().unwrap();
-        assert_eq!(scan.records.len(), 0, "corruption invalidates the frame");
-        assert_eq!(scan.torn.as_ref().unwrap().1, SEGMENT_MAGIC.len() as u64);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn.is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_length_segment_does_not_shadow_later_segments() {
+        let dir = temp_store("shadow");
+        let w = wal(&dir);
+        w.append(1, &[(KIND_APPEND_DOC, 0, b"<a/>")]).unwrap();
+        // Crash shape: seg-2's creation tore (zero bytes), but seg-3
+        // holds an acknowledged, durable record.
+        fs::write(dir.join(WAL_DIR).join("seg-000002.wal"), b"").unwrap();
+        write_segment(&dir, "seg-000003.wal", &[2], b"");
+
+        let scan = w.scan().unwrap();
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            [1, 2],
+            "records behind the empty segment must stay visible"
+        );
+        assert_eq!(scan.empty_segments, ["seg-000002.wal"]);
+        assert!(scan.torn.is_none());
+
+        // The next append must not overwrite seg-3: it continues it and
+        // deletes the empty leftover.
+        w.append(1, &[(KIND_APPEND_DOC, 0, b"<c/>")]).unwrap();
+        assert!(!dir.join(WAL_DIR).join("seg-000002.wal").exists());
+        let scan = w.scan().unwrap();
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn headerless_torn_creation_is_deleted_not_truncated() {
+        let dir = temp_store("headerless");
+        let w = wal(&dir);
+        w.append(1, &[(KIND_APPEND_DOC, 0, b"<a/>")]).unwrap();
+        // Crash shape: seg-2 got a few bytes of its header, no more.
+        fs::write(dir.join(WAL_DIR).join("seg-000002.wal"), b"VXW").unwrap();
+        let scan = w.scan().unwrap();
+        assert_eq!(scan.torn, Some(("seg-000002.wal".to_string(), 0)));
+        assert_eq!(scan.records.len(), 1);
+
+        // The append deletes the torn creation (leaving it truncated to
+        // zero bytes would shadow every later segment) and rolls past
+        // its name.
+        let a = w.append(1, &[(KIND_APPEND_DOC, 0, b"<b/>")]).unwrap();
+        assert!(!dir.join(WAL_DIR).join("seg-000002.wal").exists());
+        assert_eq!(a.segment, "seg-000003.wal");
+        let scan = w.scan().unwrap();
+        assert!(scan.torn.is_none());
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            [1, 2]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_scan_in_numeric_not_lexicographic_order() {
+        let dir = temp_store("numeric");
+        // "seg-1000000.wal" sorts lexicographically *before*
+        // "seg-999999.wal"; the scan must order numerically.
+        write_segment(&dir, "seg-999999.wal", &[1], b"");
+        write_segment(&dir, "seg-1000000.wal", &[2], b"");
+        let w = wal(&dir);
+        let scan = w.scan().unwrap();
+        assert_eq!(scan.segments, ["seg-999999.wal", "seg-1000000.wal"]);
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            [1, 2]
+        );
+        assert_eq!(scan.next_seq, 3);
+        let a = w.append(1, &[(KIND_APPEND_DOC, 0, b"<c/>")]).unwrap();
+        assert_eq!(a.segment, "seg-1000000.wal", "continues the true last");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_tear_tolerated_only_with_sequence_continuity() {
+        // An abandoned torn tail whose truncation never persisted: the
+        // re-appended records continue the sequence in the next segment.
+        let dir = temp_store("midtear");
+        write_segment(&dir, "seg-000001.wal", &[1], &[0xFF; 5]);
+        write_segment(&dir, "seg-000002.wal", &[2, 3], b"");
+        let scan = wal(&dir).scan().unwrap();
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        assert_eq!(scan.torn, Some(("seg-000001.wal".to_string(), 8 + 22)));
+        assert_eq!(scan.torn_bytes, 5);
+        let _ = fs::remove_dir_all(&dir);
+
+        // A sequence gap after the dropped tail means an acknowledged
+        // record was destroyed: that is corruption, not a crash shape.
+        let dir = temp_store("midtear-gap");
+        write_segment(&dir, "seg-000001.wal", &[1], &[0xFF; 5]);
+        write_segment(&dir, "seg-000002.wal", &[3], b"");
+        assert!(matches!(wal(&dir).scan(), Err(WalError::Corrupt(_))));
         let _ = fs::remove_dir_all(&dir);
     }
 
