@@ -10,7 +10,7 @@
 
 use std::path::PathBuf;
 use std::process::exit;
-use vx_bench::{time_append, time_ingest};
+use vx_bench::{time_append, time_ingest, StoreSizes};
 use vx_core::json::{to_string_pretty, Json};
 use vx_xml::WriteOptions;
 
@@ -137,10 +137,19 @@ fn main() {
             append.compact_secs,
         );
 
+        // Both ingest paths leave their stores behind; the streaming one
+        // carries the persisted structural index like any other save.
+        let sizes = StoreSizes::measure(&dir.join("stream")).unwrap_or_else(|e| {
+            eprintln!("bench_ingest: {corpus}-{records}: measuring store: {e}");
+            exit(2);
+        });
+
         runs.push(Json::Object(vec![
             ("corpus".into(), Json::Str(corpus.to_string())),
             ("records".into(), Json::Num(*records as f64)),
             ("input_bytes".into(), Json::Num(timing.input_bytes as f64)),
+            ("store_bytes".into(), Json::Num(sizes.total() as f64)),
+            ("index_bytes".into(), Json::Num(sizes.index_bytes as f64)),
             ("dom_secs".into(), Json::Num(timing.dom_secs)),
             ("stream_secs".into(), Json::Num(timing.stream_secs)),
             (

@@ -219,6 +219,7 @@ fn main() {
                     "catalog_bytes".into(),
                     Json::Num(r.sizes.catalog_bytes as f64),
                 ),
+                ("index_bytes".into(), Json::Num(r.sizes.index_bytes as f64)),
                 ("store_bytes".into(), Json::Num(r.sizes.total() as f64)),
                 ("ingest_secs".into(), Json::Num(r.ingest_secs)),
             ])

@@ -22,6 +22,9 @@ pub struct StoreSizes {
     pub vector_bytes: u64,
     /// Bytes of `catalog.json`.
     pub catalog_bytes: u64,
+    /// Bytes of `index.vxpi` (the persisted structural self-index;
+    /// 0 for pre-v9 stores, which rebuild it at open time).
+    pub index_bytes: u64,
     /// Bytes across `wal/seg-*.wal` (appended-but-uncompacted data).
     pub wal_bytes: u64,
 }
@@ -30,7 +33,7 @@ impl StoreSizes {
     /// Bytes of the active generation's store files (the WAL is journal
     /// overhead on top, reported separately).
     pub fn total(&self) -> u64 {
-        self.skeleton_bytes + self.vector_bytes + self.catalog_bytes
+        self.skeleton_bytes + self.vector_bytes + self.catalog_bytes + self.index_bytes
     }
 
     /// Measures a store directory on disk (no decoding). Generational
@@ -61,6 +64,7 @@ impl StoreSizes {
             skeleton_bytes: 0,
             vector_bytes: 0,
             catalog_bytes: 0,
+            index_bytes: 0,
             wal_bytes: 0,
         };
         for entry in std::fs::read_dir(dir)? {
@@ -72,6 +76,8 @@ impl StoreSizes {
                 sizes.skeleton_bytes = len;
             } else if name == "catalog.json" {
                 sizes.catalog_bytes = len;
+            } else if name == "index.vxpi" {
+                sizes.index_bytes = len;
             } else if name.ends_with(".vec") {
                 sizes.vector_bytes += len;
             }

@@ -189,6 +189,11 @@ pub struct OpenReport {
     /// leftovers: `catalog.json.tmp`, `CURRENT.tmp`, `.ingest.spill`,
     /// superseded generations, fully-applied WAL segments).
     pub cleaned: Vec<String>,
+    /// The persisted structural self-index (`index.vxpi`), when present,
+    /// valid for [`OpenReport::doc`]'s skeleton, and no WAL overlay was
+    /// merged (replay builds a fresh arena the persisted ids cannot
+    /// describe). `None` means "rebuild from the skeleton".
+    pub structural: Option<vx_skeleton::StructIndex>,
 }
 
 /// Append policy.
@@ -246,6 +251,7 @@ impl Store {
         let mut cleaned = cleanup_stale(&layout);
         let base = layout.base();
         let (doc, base_catalog) = Store::load_base(&base)?;
+        let structural = load_structural(&base, &doc);
 
         let wal = Wal::open(dir);
         // A crash between the CURRENT swap and compaction's purge
@@ -275,9 +281,9 @@ impl Store {
             applied_seq: layout.wal_applied,
         };
 
-        let (doc, catalog) = if pending.is_empty() {
+        let (doc, catalog, structural) = if pending.is_empty() {
             let catalog = base_catalog.clone();
-            (doc, catalog)
+            (doc, catalog, structural)
         } else {
             status.applied_seq = pending.iter().map(|r| r.seq).max().unwrap_or(0);
             let merged = merge_pending(&doc, &pending)?;
@@ -295,7 +301,10 @@ impl Store {
                     ],
                 );
             }
-            (merged, catalog)
+            // Replay re-vectorizes into a fresh arena whose node ids
+            // have nothing to do with the base generation's — the
+            // persisted index is stale for the merged document.
+            (merged, catalog, None)
         };
 
         Ok(OpenReport {
@@ -306,6 +315,7 @@ impl Store {
             base_dir: base,
             wal: status,
             cleaned,
+            structural,
         })
     }
 
@@ -577,6 +587,16 @@ fn overlay_catalog(base: &Catalog, doc: &VecDoc) -> Catalog {
 /// storage superseded by the `CURRENT` manifest (old generations, stale
 /// flat files). Generations *newer* than `CURRENT` are left alone — an
 /// in-flight compaction owns them. Best-effort: cleanup failures never
+/// Best-effort load of the persisted structural index. Absent, damaged,
+/// or stale (`matches` fails) files all mean "rebuild from the
+/// skeleton"; a broken `.vxpi` is never an open failure, mirroring how
+/// `.vec` salvage degrades instead of refusing.
+fn load_structural(base: &Path, doc: &crate::vecdoc::VecDoc) -> Option<vx_skeleton::StructIndex> {
+    let bytes = fs::read(base.join("index.vxpi")).ok()?;
+    let index = vx_skeleton::read_index(&bytes).ok()?;
+    index.matches(&doc.skeleton, doc.root?).then_some(index)
+}
+
 /// fail the open.
 fn cleanup_stale(layout: &StoreLayout) -> Vec<String> {
     fn remove_file(cleaned: &mut Vec<String>, path: PathBuf) {
@@ -598,7 +618,7 @@ fn cleanup_stale(layout: &StoreLayout) -> Vec<String> {
         // Flat files and older generations are superseded storage: a
         // crash between the manifest swap and compaction's cleanup
         // leaves them behind.
-        for name in ["skeleton.vxsk", "catalog.json"] {
+        for name in ["skeleton.vxsk", "index.vxpi", "catalog.json"] {
             remove_file(&mut cleaned, layout.dir.join(name));
         }
         if let Ok(entries) = fs::read_dir(&layout.dir) {
@@ -634,7 +654,7 @@ fn cleanup_stale(layout: &StoreLayout) -> Vec<String> {
 /// level of `dir` — called after the `CURRENT` swap made `gen-0001`
 /// authoritative.
 fn remove_flat_files(dir: &Path) -> std::io::Result<()> {
-    for name in ["skeleton.vxsk", "catalog.json"] {
+    for name in ["skeleton.vxsk", "index.vxpi", "catalog.json"] {
         let _ = fs::remove_file(dir.join(name));
     }
     for entry in fs::read_dir(dir)? {

@@ -26,7 +26,7 @@ use crate::vecdoc::VecDoc;
 use crate::{CoreError, Result};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use vx_skeleton::{NodeId, PathIndex, Skeleton};
+use vx_skeleton::{NodeId, PathIndex, Skeleton, StructIndex};
 
 /// Everything derived from one store directory, immutable after open.
 struct StoreInner {
@@ -50,6 +50,9 @@ struct StoreInner {
     /// handles and stores without a `wal/` directory).
     wal: WalStatus,
     index: PathIndex,
+    /// Whether the structural self-index came from a persisted
+    /// `index.vxpi` (false = rebuilt from the skeleton at open).
+    structural_loaded: bool,
 }
 
 /// A shared, immutable, opened store. See the module docs for the
@@ -85,6 +88,7 @@ impl StoreHandle {
             report.base_catalog,
             report.generation,
             report.wal,
+            report.structural,
         )
     }
 
@@ -118,6 +122,7 @@ impl StoreHandle {
             base_catalog,
             0,
             WalStatus::default(),
+            None,
         )
     }
 
@@ -131,11 +136,18 @@ impl StoreHandle {
         base_catalog: Catalog,
         generation: u32,
         wal: WalStatus,
+        structural: Option<StructIndex>,
     ) -> Result<StoreHandle> {
         let root = doc
             .root
             .ok_or_else(|| CoreError::Corrupt("store has no root node".into()))?;
-        let index = PathIndex::new(&doc.skeleton, root);
+        let structural_loaded = structural.is_some();
+        let index = match structural {
+            // A persisted `index.vxpi` that passed the staleness gate at
+            // open time replaces the per-open rebuild.
+            Some(structural) => PathIndex::with_structural(&doc.skeleton, root, structural),
+            None => PathIndex::new(&doc.skeleton, root),
+        };
 
         // Integrity gate, hoisted out of the engine's per-query path:
         // every root-to-text path the skeleton counts must be backed by a
@@ -174,6 +186,7 @@ impl StoreHandle {
                 generation,
                 wal,
                 index,
+                structural_loaded,
             }),
         })
     }
@@ -239,6 +252,12 @@ impl StoreHandle {
     pub fn index(&self) -> &PathIndex {
         &self.inner.index
     }
+
+    /// Whether the structural self-index was loaded from a persisted
+    /// `index.vxpi` rather than rebuilt from the skeleton at open time.
+    pub fn structural_loaded(&self) -> bool {
+        self.inner.structural_loaded
+    }
 }
 
 impl std::fmt::Debug for StoreHandle {
@@ -294,6 +313,59 @@ mod tests {
         assert_eq!(handle.catalog().vectors.len(), 2);
         assert_eq!(handle.catalog().vectors[0].count, 2);
         assert_eq!(handle.dir(), Path::new(""));
+    }
+
+    #[test]
+    fn structural_index_loads_and_degrades_to_rebuild() {
+        let doc = parse("<lib><book><t>A</t></book><book><t>B</t></book></lib>").unwrap();
+        let v = vectorize(&doc).unwrap();
+        let dir = temp_dir("vxpi");
+        Store::save(&dir, &v, Compaction::None).unwrap();
+
+        // Fresh save persists the index and open adopts it.
+        let handle = StoreHandle::open(&dir).unwrap();
+        assert!(handle.structural_loaded());
+        let baseline = handle.index().structural().clone();
+
+        // Truncated, corrupted, and missing `.vxpi` files all degrade to
+        // a rebuild that produces the identical index — never an error.
+        let vxpi = dir.join("index.vxpi");
+        let bytes = fs::read(&vxpi).unwrap();
+        for damage in [bytes[..bytes.len() / 2].to_vec(), {
+            let mut b = bytes.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0xff;
+            b
+        }] {
+            fs::write(&vxpi, damage).unwrap();
+            let degraded = StoreHandle::open(&dir).unwrap();
+            assert!(!degraded.structural_loaded());
+            assert_eq!(degraded.index().structural(), &baseline);
+        }
+        fs::remove_file(&vxpi).unwrap();
+        let rebuilt = StoreHandle::open(&dir).unwrap();
+        assert!(!rebuilt.structural_loaded());
+        assert_eq!(rebuilt.index().structural(), &baseline);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_structural_index_is_not_adopted() {
+        // Persist store A's index into store B's directory: the
+        // staleness gate must reject it and rebuild B's own.
+        let a = vectorize(&parse("<lib><x><y>1</y></x></lib>").unwrap()).unwrap();
+        let b = vectorize(&parse("<lib><p>1</p><q>2</q><r>3</r></lib>").unwrap()).unwrap();
+        let dir_a = temp_dir("stale-a");
+        let dir_b = temp_dir("stale-b");
+        Store::save(&dir_a, &a, Compaction::None).unwrap();
+        Store::save(&dir_b, &b, Compaction::None).unwrap();
+        fs::copy(dir_a.join("index.vxpi"), dir_b.join("index.vxpi")).unwrap();
+        let handle = StoreHandle::open(&dir_b).unwrap();
+        assert!(!handle.structural_loaded());
+        let fresh = PathIndex::new(handle.skeleton(), handle.root());
+        assert_eq!(handle.index().structural(), fresh.structural());
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
     }
 
     #[test]

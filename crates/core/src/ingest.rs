@@ -121,7 +121,11 @@ fn write_output(
         mut pool,
         stats,
     } = output;
-    fs::write(dir.join("skeleton.vxsk"), skformat::write(&skeleton, root))?;
+    let skeleton_bytes = skformat::write(&skeleton, root);
+    fs::write(dir.join("skeleton.vxsk"), &skeleton_bytes)?;
+    // Built from the file bytes so streaming and DOM ingests stay
+    // byte-identical (see `store::write_structural_index`).
+    crate::store::write_structural_index(dir, &skeleton_bytes)?;
 
     let mut entries = Vec::with_capacity(vectors.len());
     let mut text_bytes = 0u64;

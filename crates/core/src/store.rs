@@ -143,6 +143,7 @@ impl Store {
         fs::create_dir_all(dir)?;
         let skeleton_bytes = skformat::write(&doc.skeleton, root);
         fs::write(dir.join("skeleton.vxsk"), &skeleton_bytes)?;
+        write_structural_index(dir, &skeleton_bytes)?;
         vx_obs::crash_point("store.mid_save");
 
         let mut entries = Vec::new();
@@ -298,6 +299,21 @@ impl Store {
 fn read_catalog(dir: &Path) -> Result<Catalog> {
     let text = fs::read_to_string(dir.join("catalog.json"))?;
     Catalog::parse(&text)
+}
+
+/// Writes `index.vxpi` — the persisted structural self-index — next to a
+/// just-written `skeleton.vxsk`. The index must be built from the
+/// *canonical* skeleton decoded back out of the file bytes, not from the
+/// in-memory arena: the writer garbage-collects unreachable nodes and
+/// densely renumbers the rest, so only the re-read arena's node ids match
+/// what a later `Store::open` will see. Building from bytes also makes
+/// the DOM and streaming ingest paths produce byte-identical `.vxpi`
+/// files.
+pub(crate) fn write_structural_index(dir: &Path, skeleton_bytes: &[u8]) -> Result<()> {
+    let (canonical, root) = skformat::read(skeleton_bytes)?;
+    let index = vx_skeleton::StructIndex::build(&canonical, root);
+    fs::write(dir.join("index.vxpi"), vx_skeleton::write_index(&index))?;
+    Ok(())
 }
 
 /// Writes `catalog.json` atomically: full content to a temp file in the

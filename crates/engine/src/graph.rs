@@ -408,11 +408,19 @@ impl Compiler {
 }
 
 /// Converts a (qualifier-free) path's steps into pattern steps.
+///
+/// The NFA packs its state set into a `u64` with one bit per step plus
+/// the accept bit, so `PathPattern::MAX_STEPS` (63) is a hard width
+/// limit: longer patterns get a structured `Unsupported` error here
+/// instead of a silent bitmask wraparound downstream.
 fn pat_steps(path: &PathExpr) -> Result<Vec<PatStep>> {
     debug_assert!(path.is_desugared() || matches!(path.root, Root::Var(_) | Root::Doc(_)));
-    if path.steps.len() > 63 {
+    if path.steps.len() > vx_skeleton::PathPattern::MAX_STEPS {
         return Err(EngineError::unsupported(
-            "path pattern with more than 63 steps",
+            format!(
+                "path pattern with more than {} steps",
+                vx_skeleton::PathPattern::MAX_STEPS
+            ),
             Some(path.span),
         ));
     }

@@ -15,7 +15,7 @@
 //! attaches it to the constructed element as an attribute.
 
 use crate::{EngineError, Result};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use vx_xml::{Document, Element, Node};
 use vx_xquery::{
     desugar, Axis, Condition, Content, ElemConstructor, NameTest, Operand, PathExpr, Query,
@@ -35,20 +35,50 @@ pub enum NaiveOutput {
 /// Evaluates `query` against named DOM documents by brute force.
 pub fn naive_eval(query: &Query, docs: &[(&str, &Document)]) -> Result<NaiveOutput> {
     let query = desugar(query);
+    let ctx = Ctx {
+        docs,
+        order: document_order(docs),
+    };
     match &query.ret {
         ReturnExpr::Path(_) => {
             let mut out = Vec::new();
             let mut env = Vec::new();
-            eval_query(&query, docs, &mut env, &mut NaiveSink::Values(&mut out))?;
+            eval_query(&query, &ctx, &mut env, &mut NaiveSink::Values(&mut out))?;
             Ok(NaiveOutput::Values(out))
         }
         ReturnExpr::Element(_) => {
             let mut results = Element::new("results");
             let mut env = Vec::new();
-            eval_query(&query, docs, &mut env, &mut NaiveSink::Elem(&mut results))?;
+            eval_query(&query, &ctx, &mut env, &mut NaiveSink::Elem(&mut results))?;
             Ok(NaiveOutput::Document(Document::from_root(results)))
         }
     }
+}
+
+/// Evaluation context: the named documents plus a global document-order
+/// numbering of every node (doc pseudo-nodes, elements, attribute
+/// pseudo-children), keyed by [`NodeRef::identity`]. Step expansion
+/// sorts by it so node-sets come out in document order even when a
+/// descendant step's matches nest inside each other.
+struct Ctx<'a> {
+    docs: &'a [(&'a str, &'a Document)],
+    order: HashMap<usize, u64>,
+}
+
+fn document_order(docs: &[(&str, &Document)]) -> HashMap<usize, u64> {
+    fn number(node: NodeRef<'_>, order: &mut HashMap<usize, u64>, counter: &mut u64) {
+        order.insert(node.identity(), *counter);
+        *counter += 1;
+        for child in node.children() {
+            number(child, order, counter);
+        }
+    }
+    let mut order = HashMap::new();
+    let mut counter = 0u64;
+    for (_, doc) in docs {
+        number(NodeRef::Doc(&doc.root), &mut order, &mut counter);
+    }
+    order
 }
 
 /// A node the path language can visit: the virtual document node (whose
@@ -125,9 +155,14 @@ impl<'a> NodeRef<'a> {
 }
 
 /// Expands `steps` from a single start node; results are in document
-/// preorder, deduplicated (a node reachable along two step derivations
+/// order, deduplicated (a node reachable along two step derivations
 /// counts once, like one NFA machine accepting once per element).
-fn match_steps<'a>(start: NodeRef<'a>, steps: &[Step]) -> Vec<NodeRef<'a>> {
+///
+/// The post-step sort matters: per-node expansion concatenates child
+/// lists, which is *not* document order once a descendant step's
+/// matches nest (all of an outer match's children would precede an
+/// inner match's, even when the inner subtree sits between them).
+fn match_steps<'a>(start: NodeRef<'a>, steps: &[Step], ctx: &Ctx<'a>) -> Vec<NodeRef<'a>> {
     let mut current = vec![start];
     for step in steps {
         let mut next = Vec::new();
@@ -147,6 +182,7 @@ fn match_steps<'a>(start: NodeRef<'a>, steps: &[Step]) -> Vec<NodeRef<'a>> {
                 }
             }
         }
+        next.sort_by_key(|n| ctx.order.get(&n.identity()).copied().unwrap_or(u64::MAX));
         current = next;
     }
     current
@@ -154,11 +190,7 @@ fn match_steps<'a>(start: NodeRef<'a>, steps: &[Step]) -> Vec<NodeRef<'a>> {
 
 type Env<'a> = Vec<(String, NodeRef<'a>)>;
 
-fn resolve_path<'a>(
-    path: &PathExpr,
-    docs: &[(&str, &'a Document)],
-    env: &Env<'a>,
-) -> Result<Vec<NodeRef<'a>>> {
+fn resolve_path<'a>(path: &PathExpr, ctx: &Ctx<'a>, env: &Env<'a>) -> Result<Vec<NodeRef<'a>>> {
     debug_assert!(path.is_desugared(), "oracle runs on desugared paths");
     let start = match &path.root {
         Root::Var(name) => env
@@ -170,7 +202,8 @@ fn resolve_path<'a>(
                 EngineError::unsupported(format!("unbound variable `${name}`"), Some(path.span))
             })?,
         Root::Doc(name) => {
-            let doc = docs
+            let doc = ctx
+                .docs
                 .iter()
                 .find(|(n, _)| n == name)
                 .map(|(_, d)| *d)
@@ -178,33 +211,25 @@ fn resolve_path<'a>(
             NodeRef::Doc(&doc.root)
         }
     };
-    Ok(match_steps(start, &path.steps))
+    Ok(match_steps(start, &path.steps, ctx))
 }
 
-fn path_values<'a>(
-    path: &PathExpr,
-    docs: &[(&str, &'a Document)],
-    env: &Env<'a>,
-) -> Result<Vec<Vec<u8>>> {
-    Ok(resolve_path(path, docs, env)?
+fn path_values<'a>(path: &PathExpr, ctx: &Ctx<'a>, env: &Env<'a>) -> Result<Vec<Vec<u8>>> {
+    Ok(resolve_path(path, ctx, env)?
         .into_iter()
         .flat_map(|n| n.texts())
         .collect())
 }
 
-fn condition_holds<'a>(
-    condition: &Condition,
-    docs: &[(&str, &'a Document)],
-    env: &Env<'a>,
-) -> Result<bool> {
+fn condition_holds<'a>(condition: &Condition, ctx: &Ctx<'a>, env: &Env<'a>) -> Result<bool> {
     match condition {
-        Condition::Exists(p) => Ok(!resolve_path(p, docs, env)?.is_empty()),
-        Condition::Eq(p, Operand::Literal(lit)) => Ok(path_values(p, docs, env)?
+        Condition::Exists(p) => Ok(!resolve_path(p, ctx, env)?.is_empty()),
+        Condition::Eq(p, Operand::Literal(lit)) => Ok(path_values(p, ctx, env)?
             .iter()
             .any(|v| v == lit.as_bytes())),
         Condition::Eq(left, Operand::Path(right)) => {
-            let lvals: HashSet<Vec<u8>> = path_values(left, docs, env)?.into_iter().collect();
-            Ok(path_values(right, docs, env)?
+            let lvals: HashSet<Vec<u8>> = path_values(left, ctx, env)?.into_iter().collect();
+            Ok(path_values(right, ctx, env)?
                 .iter()
                 .any(|v| lvals.contains(v)))
         }
@@ -220,49 +245,49 @@ enum NaiveSink<'x> {
 
 fn eval_query<'a>(
     query: &Query,
-    docs: &[(&str, &'a Document)],
+    ctx: &Ctx<'a>,
     env: &mut Env<'a>,
     sink: &mut NaiveSink<'_>,
 ) -> Result<()> {
-    bind(query, 0, docs, env, sink)
+    bind(query, 0, ctx, env, sink)
 }
 
 fn bind<'a>(
     query: &Query,
     depth: usize,
-    docs: &[(&str, &'a Document)],
+    ctx: &Ctx<'a>,
     env: &mut Env<'a>,
     sink: &mut NaiveSink<'_>,
 ) -> Result<()> {
     match query.bindings.get(depth) {
         Some(binding) => {
-            for node in resolve_path(&binding.path, docs, env)? {
+            for node in resolve_path(&binding.path, ctx, env)? {
                 env.push((binding.var.clone(), node));
-                bind(query, depth + 1, docs, env, sink)?;
+                bind(query, depth + 1, ctx, env, sink)?;
                 env.pop();
             }
             Ok(())
         }
         None => {
             for condition in &query.conditions {
-                if !condition_holds(condition, docs, env)? {
+                if !condition_holds(condition, ctx, env)? {
                     return Ok(());
                 }
             }
-            emit(&query.ret, docs, env, sink)
+            emit(&query.ret, ctx, env, sink)
         }
     }
 }
 
 fn emit<'a>(
     ret: &ReturnExpr,
-    docs: &[(&str, &'a Document)],
+    ctx: &Ctx<'a>,
     env: &mut Env<'a>,
     sink: &mut NaiveSink<'_>,
 ) -> Result<()> {
     match ret {
         ReturnExpr::Path(p) => {
-            for value in path_values(p, docs, env)? {
+            for value in path_values(p, ctx, env)? {
                 match sink {
                     NaiveSink::Values(out) => out.push(value),
                     NaiveSink::Elem(el) => el
@@ -273,7 +298,7 @@ fn emit<'a>(
             Ok(())
         }
         ReturnExpr::Element(c) => {
-            let rendered = render(c, docs, env)?;
+            let rendered = render(c, ctx, env)?;
             match sink {
                 NaiveSink::Elem(el) => {
                     el.children.push(Node::Element(rendered));
@@ -287,11 +312,7 @@ fn emit<'a>(
     }
 }
 
-fn render<'a>(
-    c: &ElemConstructor,
-    docs: &[(&str, &'a Document)],
-    env: &mut Env<'a>,
-) -> Result<Element> {
+fn render<'a>(c: &ElemConstructor, ctx: &Ctx<'a>, env: &mut Env<'a>) -> Result<Element> {
     let mut el = Element::new(c.tag.clone());
     for item in &c.content {
         match item {
@@ -303,7 +324,7 @@ fn render<'a>(
                         Some(p.span),
                     ));
                 }
-                for node in resolve_path(p, docs, env)? {
+                for node in resolve_path(p, ctx, env)? {
                     match node {
                         NodeRef::Elem(e) => el.children.push(Node::Element(e.clone())),
                         NodeRef::Doc(root) => el.children.push(Node::Element(root.clone())),
@@ -314,11 +335,11 @@ fn render<'a>(
                 }
             }
             Content::Element(inner) => {
-                let rendered = render(inner, docs, env)?;
+                let rendered = render(inner, ctx, env)?;
                 el.children.push(Node::Element(rendered));
             }
             Content::Query(q) => {
-                eval_query(q, docs, env, &mut NaiveSink::Elem(&mut el))?;
+                eval_query(q, ctx, env, &mut NaiveSink::Elem(&mut el))?;
             }
         }
     }

@@ -117,6 +117,12 @@ pub struct RunOptions {
     /// per-edge cardinality choice. `None` defers to the `VX_PLAN`
     /// environment variable, then to the planner.
     pub strategy: Option<JoinStrategy>,
+    /// Whether `*`/`//` step patterns are matched through the
+    /// structural self-index (containment bitsets prune subtrees the
+    /// remaining steps provably cannot complete in). `None` defers to
+    /// the `VX_STRUCT_INDEX` environment variable (`0`/`off` disables;
+    /// unset or anything else enables).
+    pub struct_index: Option<bool>,
 }
 
 impl Default for RunOptions {
@@ -126,6 +132,7 @@ impl Default for RunOptions {
             profile: false,
             use_indexes: true,
             strategy: None,
+            struct_index: None,
         }
     }
 }
@@ -171,6 +178,11 @@ pub struct PlanVar {
     pub path: String,
     /// Exact occurrence count after collection.
     pub occurrences: u64,
+    /// How the step pattern is matched against the skeleton:
+    /// `"summary"` when the structural self-index prunes the walk,
+    /// `"nfa"` when the pattern is summary-opaque (no named step) or
+    /// the index is disabled.
+    pub matching: &'static str,
 }
 
 /// One equality join edge in a [`Plan`].
@@ -222,8 +234,8 @@ impl Plan {
         out.push_str("variables:\n");
         for v in &self.variables {
             out.push_str(&format!(
-                "  ${} := {}{}  occurrences={}\n",
-                v.name, v.root, v.path, v.occurrences
+                "  ${} := {}{}  occurrences={} match={}\n",
+                v.name, v.root, v.path, v.occurrences, v.matching
             ));
         }
         if !self.joins.is_empty() {

@@ -39,7 +39,9 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use vx_core::{VecDoc, VecDocBuilder};
 use vx_obs::{Counters, Spans};
-use vx_skeleton::{NodeId, PathIndex, PathPattern, PatternStep, PatternTest, Skeleton};
+use vx_skeleton::{
+    NodeId, PathIndex, PathPattern, PatternStep, PatternTest, Skeleton, StructIndex,
+};
 
 /// One document made available to evaluation: its `doc("…")` name, the
 /// decoded vectorized document, and — for handle-opened stores — the
@@ -122,6 +124,15 @@ fn fan_out_enabled() -> bool {
     }
 }
 
+/// Resolves [`RunOptions::struct_index`]: an explicit option wins,
+/// otherwise `VX_STRUCT_INDEX=0`/`off` disables summary pruning and
+/// anything else (including unset) enables it.
+fn struct_index_enabled(options: &RunOptions) -> bool {
+    options.struct_index.unwrap_or_else(|| {
+        !std::env::var("VX_STRUCT_INDEX").is_ok_and(|v| v == "0" || v.eq_ignore_ascii_case("off"))
+    })
+}
+
 /// The shared evaluation body. Timers run only when `want_profile` is
 /// set or the `VX_LOG` sink is active — an unprofiled run with `VX_LOG`
 /// unset takes no timestamps beyond plain counter arithmetic, which is
@@ -195,6 +206,7 @@ fn reduce_inner(
     let referenced: Vec<usize> = (0..docs.len()).filter(|i| var_doc.contains(i)).collect();
     let mut state = State::new(graph);
     let mut walk_tally = WalkTally::default();
+    let struct_enabled = struct_index_enabled(options);
     if parallel && !profiling && referenced.len() >= 2 && fan_out_enabled() {
         let var_doc_ref = &var_doc;
         let var_children_ref = &var_children;
@@ -212,6 +224,7 @@ fn reduce_inner(
                 refs_of_var_ref,
                 &mut sub,
                 &mut tally,
+                struct_enabled,
             )?;
             Ok((sub, tally))
         };
@@ -248,6 +261,7 @@ fn reduce_inner(
                 &refs_of_var,
                 &mut state,
                 &mut walk_tally,
+                struct_enabled,
             )?;
             if profiling {
                 spans.tile(Some(&format!("match:{}", docs[doc_idx].name)));
@@ -331,6 +345,9 @@ fn reduce_inner(
     counters.add("nfa.accepts", walk_tally.nfa_accepts);
     counters.add("cursor.values.passed", walk_tally.values_passed);
     counters.add("cursor.values.skipped", walk_tally.values_skipped);
+    counters.add("struct.summary.hits", walk_tally.summary_hits);
+    counters.add("struct.nodes.skipped", walk_tally.nodes_skipped);
+    counters.add("struct.fallbacks", walk_tally.fallbacks);
     counters.add(
         "occ.rows",
         state.occ_parent.iter().map(|v| v.len() as u64).sum(),
@@ -486,6 +503,17 @@ struct WalkTally {
     values_passed: u64,
     /// Text values bulk-advanced during skips (`cursor.values.skipped`).
     values_skipped: u64,
+    /// Machines ruled out at a skipped subtree because the structural
+    /// self-index proved their remaining steps cannot complete inside
+    /// it (`struct.summary.hits`).
+    summary_hits: u64,
+    /// Expanded nodes of subtrees skipped *because* the structural
+    /// index proved no machine viable inside (`struct.nodes.skipped`).
+    nodes_skipped: u64,
+    /// Patterns that fell back to the plain NFA walk while the
+    /// structural index was on — summary-opaque patterns with no named
+    /// step (`struct.fallbacks`).
+    fallbacks: u64,
 }
 
 impl WalkTally {
@@ -499,6 +527,9 @@ impl WalkTally {
         self.nfa_accepts += other.nfa_accepts;
         self.values_passed += other.values_passed;
         self.values_skipped += other.values_skipped;
+        self.summary_hits += other.summary_hits;
+        self.nodes_skipped += other.nodes_skipped;
+        self.fallbacks += other.fallbacks;
     }
 }
 
@@ -551,6 +582,60 @@ struct Collector {
     group: usize,
 }
 
+/// Per-pattern precompute for structural pruning: for each NFA state
+/// bit `i`, what the suffix `steps[i..]` demands of a subtree before it
+/// can possibly complete there. Consulted per element child during the
+/// walk; `None` (summary-opaque pattern) means the machine always runs
+/// the plain NFA.
+#[derive(Clone)]
+struct PatMeta {
+    len: usize,
+    /// Words per name bitset (matches the structural index's layout).
+    blocks: usize,
+    /// `suffix[i*blocks..]`: bitset of concrete names steps `i..` still
+    /// need to find — all must occur at or below a subtree's root.
+    suffix: Vec<u64>,
+    /// `impossible[i]`: some step `j ≥ i` names a tag absent from this
+    /// document; state bit `i` can never reach the accept bit.
+    impossible: Vec<bool>,
+}
+
+/// Builds the pruning metadata, or `None` when the pattern has no named
+/// step to anchor on (`//*`-style patterns are summary-opaque: the path
+/// summary cannot rule any subtree out, so pruning would be pure
+/// overhead).
+fn meta_of(pattern: &PathPattern, name_count: usize) -> Option<PatMeta> {
+    let steps = pattern.steps();
+    if !steps.iter().any(|s| matches!(s.test, PatternTest::Name(_))) {
+        return None;
+    }
+    let len = steps.len();
+    let blocks = name_count.div_ceil(64).max(1);
+    let mut suffix = vec![0u64; len * blocks];
+    let mut impossible = vec![false; len];
+    let mut acc = vec![0u64; blocks];
+    let mut dead = false;
+    for i in (0..len).rev() {
+        match steps[i].test {
+            PatternTest::Name(Some(id)) => {
+                acc[id.0 as usize / 64] |= 1u64 << (id.0 % 64);
+            }
+            // The step names a tag this document never interned: no
+            // element anywhere can match it.
+            PatternTest::Name(None) => dead = true,
+            PatternTest::Any => {}
+        }
+        suffix[i * blocks..(i + 1) * blocks].copy_from_slice(&acc);
+        impossible[i] = dead;
+    }
+    Some(PatMeta {
+        len,
+        blocks,
+        suffix,
+        impossible,
+    })
+}
+
 fn pattern_of(steps: &[PatStep], skeleton: &Skeleton) -> Result<PathPattern> {
     PathPattern::new(
         steps
@@ -564,7 +649,15 @@ fn pattern_of(steps: &[PatStep], skeleton: &Skeleton) -> Result<PathPattern> {
             })
             .collect(),
     )
-    .ok_or_else(|| EngineError::unsupported("path pattern with more than 63 steps", None))
+    .ok_or_else(|| {
+        EngineError::unsupported(
+            format!(
+                "path pattern with more than {} steps",
+                PathPattern::MAX_STEPS
+            ),
+            None,
+        )
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -578,6 +671,7 @@ fn collect_doc(
     refs_of_var: &[Vec<usize>],
     state: &mut State,
     tally: &mut WalkTally,
+    struct_enabled: bool,
 ) -> Result<()> {
     let root = doc
         .root
@@ -588,16 +682,33 @@ fn collect_doc(
         .name
         .ok_or_else(|| EngineError::Corrupt("document root is a text node".into()))?;
 
+    let name_count = skeleton.names().len();
     let mut var_pat: Vec<Option<PathPattern>> = vec![None; graph.vars.len()];
     let mut ref_pat: Vec<Option<PathPattern>> = vec![None; graph.refs.len()];
+    let mut var_meta: Vec<Option<PatMeta>> = vec![None; graph.vars.len()];
+    let mut ref_meta: Vec<Option<PatMeta>> = vec![None; graph.refs.len()];
     for (v, var) in graph.vars.iter().enumerate() {
         if var_doc[v] == doc_idx {
-            var_pat[v] = Some(pattern_of(&var.steps, skeleton)?);
+            let pattern = pattern_of(&var.steps, skeleton)?;
+            if struct_enabled {
+                var_meta[v] = meta_of(&pattern, name_count);
+                if var_meta[v].is_none() && !pattern.is_empty() {
+                    tally.fallbacks += 1;
+                }
+            }
+            var_pat[v] = Some(pattern);
         }
     }
     for (r, vref) in graph.refs.iter().enumerate() {
         if var_doc[vref.var] == doc_idx {
-            ref_pat[r] = Some(pattern_of(&vref.steps, skeleton)?);
+            let pattern = pattern_of(&vref.steps, skeleton)?;
+            if struct_enabled {
+                ref_meta[r] = meta_of(&pattern, name_count);
+                if ref_meta[r].is_none() && !pattern.is_empty() {
+                    tally.fallbacks += 1;
+                }
+            }
+            ref_pat[r] = Some(pattern);
         }
     }
 
@@ -643,9 +754,12 @@ fn collect_doc(
         doc,
         skeleton,
         index,
+        structural: struct_enabled.then(|| index.structural()),
         graph,
         var_pat,
         ref_pat,
+        var_meta,
+        ref_meta,
         var_children,
         refs_of_var,
         state,
@@ -672,9 +786,14 @@ struct Walker<'a> {
     doc: &'a VecDoc,
     skeleton: &'a Skeleton,
     index: &'a PathIndex,
+    /// The structural self-index when summary pruning is enabled
+    /// (`None` = pure NFA walk, the `VX_STRUCT_INDEX=off` behavior).
+    structural: Option<&'a StructIndex>,
     graph: &'a QueryGraph,
     var_pat: Vec<Option<PathPattern>>,
     ref_pat: Vec<Option<PathPattern>>,
+    var_meta: Vec<Option<PatMeta>>,
+    ref_meta: Vec<Option<PatMeta>>,
     var_children: &'a [Vec<usize>],
     refs_of_var: &'a [Vec<usize>],
     state: &'a mut State,
@@ -855,6 +974,15 @@ impl Walker<'_> {
                         // the cursors over the subtree without entering it.
                         let child_name = self.skeleton.name(child_name_id).to_string();
                         self.skip(edge.child, edge.run, &child_name);
+                    } else if self.subtree_dead(&live, edge.child, child_name_id) {
+                        // Structural pruning: summary evidence alone shows
+                        // no machine can complete inside this subtree, so
+                        // the walk skips it wholesale.
+                        let structural = self.structural.expect("pruning implies an index");
+                        self.tally.summary_hits += live.len() as u64;
+                        self.tally.nodes_skipped += structural.expanded(edge.child) * edge.run;
+                        let child_name = self.skeleton.name(child_name_id).to_string();
+                        self.skip(edge.child, edge.run, &child_name);
                     } else {
                         for _ in 0..edge.run {
                             self.visit(edge.child, &live)?;
@@ -865,6 +993,66 @@ impl Walker<'_> {
         }
         self.path.truncate(parent_len);
         Ok(())
+    }
+
+    /// Whether the whole subtree at `child` can be skipped: the index
+    /// is loaded and *no* live machine is viable inside it. Exits on
+    /// the first viable machine and never allocates — partial pruning
+    /// (cloning the survivors) was measured to cost more than it saves
+    /// on flat corpora, so the walk only acts on unanimous evidence.
+    fn subtree_dead(
+        &self,
+        live: &[Machine],
+        child: NodeId,
+        child_name: vx_skeleton::NameId,
+    ) -> bool {
+        let Some(structural) = self.structural else {
+            return false;
+        };
+        !live
+            .iter()
+            .any(|m| self.machine_viable(structural, m, child, child_name))
+    }
+
+    /// Whether `m` can still reach its accept bit anywhere inside the
+    /// subtree at `child`. Sound over-approximation: every concretely
+    /// named remaining step must find its tag at or below `child`, and
+    /// the remaining step count must fit in the subtree's element
+    /// depth; the exact per-element transitions stay with
+    /// `PathPattern::advance`.
+    fn machine_viable(
+        &self,
+        structural: &StructIndex,
+        m: &Machine,
+        child: NodeId,
+        child_name: vx_skeleton::NameId,
+    ) -> bool {
+        let meta = match m.target {
+            Target::Var(v) => &self.var_meta[v],
+            Target::Ref(r) => &self.ref_meta[r],
+        };
+        let Some(meta) = meta else {
+            return true; // summary-opaque pattern: plain NFA walk
+        };
+        let below = structural.below_bits(child);
+        let budget = 1 + structural.depth_below(child) as usize;
+        let (name_word, name_bit) = (child_name.0 as usize / 64, 1u64 << (child_name.0 % 64));
+        for i in 0..meta.len {
+            if m.states & (1u64 << i) == 0 || meta.impossible[i] || meta.len - i > budget {
+                continue;
+            }
+            let suffix = &meta.suffix[i * meta.blocks..(i + 1) * meta.blocks];
+            let satisfied = suffix.iter().enumerate().all(|(w, &need)| {
+                let have = below[w] | if w == name_word { name_bit } else { 0 };
+                need & !have == 0
+            });
+            if satisfied {
+                return true;
+            }
+        }
+        // Only the accept bit (or nothing prunable) was alive: nothing
+        // below this child can advance the machine further.
+        false
     }
 
     /// Advances the per-path cursors across `run` repetitions of the
@@ -1325,6 +1513,7 @@ pub(crate) fn explain_with(
     }
     let mut state = State::new(graph);
     let mut tally = WalkTally::default();
+    let struct_enabled = struct_index_enabled(options);
     let referenced: Vec<usize> = (0..docs.len()).filter(|i| var_doc.contains(i)).collect();
     for &doc_idx in &referenced {
         collect_doc(
@@ -1337,6 +1526,7 @@ pub(crate) fn explain_with(
             &refs_of_var,
             &mut state,
             &mut tally,
+            struct_enabled,
         )?;
     }
     state.flatten_values();
@@ -1360,6 +1550,16 @@ pub(crate) fn explain_with(
             },
             path: render_steps(&var.steps),
             occurrences: state.occ_parent[v].len() as u64,
+            // Matches `meta_of`'s opaqueness rule without needing the
+            // document's name table: any named step anchors the
+            // summary; a pure-wildcard (or empty) pattern walks the NFA.
+            matching: if struct_enabled
+                && var.steps.iter().any(|s| matches!(s.test, PatTest::Name(_)))
+            {
+                "summary"
+            } else {
+                "nfa"
+            },
         })
         .collect();
 

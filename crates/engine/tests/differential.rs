@@ -605,3 +605,108 @@ fn query_handle_is_reusable_across_documents() {
     assert_eq!(a.strings().len(), 60);
     assert_eq!(b.strings().len(), 40);
 }
+
+/// A document whose element chain is `depth` levels deep: `FILE` over
+/// nested `NP`s, each level carrying its own `NN` leaf. Past 64 levels
+/// this exceeds the NFA's one-bit-per-step `u64` state width — the
+/// *document* may recurse arbitrarily even though *patterns* are capped
+/// at [`vx_skeleton::PathPattern::MAX_STEPS`] steps.
+fn deep_doc(depth: usize) -> (Document, VecDoc) {
+    let mut xml = String::from("<FILE>");
+    for d in 0..depth {
+        xml.push_str(&format!("<NP><NN>n{d}</NN>"));
+    }
+    xml.push_str("<CC>and</CC>");
+    for _ in 0..depth {
+        xml.push_str("</NP>");
+    }
+    xml.push_str("</FILE>");
+    let dom = parse(&xml).unwrap();
+    let vdoc = vectorize(&dom).unwrap();
+    (dom, vdoc)
+}
+
+/// Deep `//` recursion well past the 64-bit state width, pinned against
+/// the oracle in both structural-index and NFA-fallback matching modes
+/// (machines spawn per element, so document depth must never alias
+/// pattern state bits).
+#[test]
+fn documents_deeper_than_the_state_width_agree() {
+    let (dom, vdoc) = deep_doc(70);
+    let doms: Vec<(&str, &Document)> = vec![("deep", &dom)];
+    let vecs: Vec<(&str, &VecDoc)> = vec![("deep", &vdoc)];
+    for src in [
+        r#"for $f in doc("deep")/FILE return $f//NP/NN"#,
+        r#"for $n in doc("deep")//NP/NP/NP return $n/NN"#,
+        r#"for $n in doc("deep")//NP where exists($n/NP/NN) return $n/NN"#,
+        r#"for $f in doc("deep")//FILE return $f//CC"#,
+        r#"for $n in doc("deep")//NP where $n/NN = "n69" return $n/CC"#,
+    ] {
+        let parsed = vx_xquery::parse_query(src).expect(src);
+        let expected = match naive_eval(&parsed, &doms).expect(src) {
+            NaiveOutput::Values(v) => v,
+            NaiveOutput::Document(_) => panic!("expected values for {src}"),
+        };
+        assert!(!expected.is_empty(), "degenerate oracle result for {src}");
+        let query = Query::new(src).expect(src);
+        for struct_index in [Some(true), Some(false)] {
+            let options = RunOptions {
+                struct_index,
+                ..RunOptions::default()
+            };
+            match query.run_with(&vecs, &options).expect(src).output {
+                QueryOutput::Values(got) => {
+                    assert_eq!(got, expected, "{src} struct_index={struct_index:?}");
+                }
+                QueryOutput::Document(_) => panic!("expected values for {src}"),
+            }
+        }
+    }
+}
+
+/// The NFA packs its live set into a `u64` — one bit per step plus the
+/// accept bit. Patterns beyond that width must fail as a structured
+/// `Unsupported`, not wrap the bitmask; patterns exactly at the width
+/// still compile and answer correctly.
+#[test]
+fn patterns_past_the_state_width_are_rejected() {
+    let (dom, vdoc) = deep_doc(70);
+    // 1 (`FILE`) + 63 (`NP`) steps = 64 > MAX_STEPS.
+    let over = format!(
+        r#"for $x in doc("deep")/FILE{} return $x/NN"#,
+        "/NP".repeat(63)
+    );
+    match Query::new(&over) {
+        Err(EngineError::Unsupported { construct, span }) => {
+            assert!(
+                construct.contains("more than 63 steps"),
+                "got {construct:?}"
+            );
+            assert!(span.is_some(), "span missing");
+        }
+        other => panic!("expected Unsupported for a 64-step pattern, got {other:?}"),
+    }
+    // 1 + 62 = 63 steps: exactly MAX_STEPS, still supported.
+    let at_limit = format!(
+        r#"for $x in doc("deep")/FILE{} return $x/NN"#,
+        "/NP".repeat(62)
+    );
+    let parsed = vx_xquery::parse_query(&at_limit).unwrap();
+    let expected = match naive_eval(&parsed, &[("deep", &dom)]).unwrap() {
+        NaiveOutput::Values(v) => v,
+        NaiveOutput::Document(_) => panic!("expected values"),
+    };
+    assert_eq!(expected, vec![b"n61".to_vec()]);
+    let query = Query::new(&at_limit).expect("63-step pattern is within the state width");
+    for struct_index in [Some(true), Some(false)] {
+        let options = RunOptions {
+            struct_index,
+            ..RunOptions::default()
+        };
+        let vecs: Vec<(&str, &VecDoc)> = vec![("deep", &vdoc)];
+        match query.run_with(&vecs, &options).unwrap().output {
+            QueryOutput::Values(got) => assert_eq!(got, expected),
+            QueryOutput::Document(_) => panic!("expected values"),
+        }
+    }
+}

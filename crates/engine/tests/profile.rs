@@ -127,3 +127,50 @@ fn profiling_does_not_change_answers() {
     let occs: Vec<u64> = profile.variables.iter().map(|v| v.occurrences).collect();
     assert!(occs.contains(&300), "variables: {:?}", profile.variables);
 }
+
+/// The structural self-index at work on TreeBank — CI's sublinearity
+/// guard invokes this test by name. A selective descendant pattern
+/// (`//SBAR`, plus a `//PRP` reference) lets the containment map rule
+/// whole shared subtrees out, so with the index on the walk skips nodes
+/// (`struct.nodes.skipped` > 0) and visits strictly fewer skeleton
+/// nodes than the NFA fallback — with byte-identical answers. Counters
+/// are plain sums over a deterministic walk, so the comparison is
+/// exact, not a timing heuristic.
+#[test]
+fn treebank_struct_index_prunes_skeleton_visits() {
+    let vdoc = vx_core::vectorize(&vx_data::treebank(9, 150)).unwrap();
+    let q = Query::new(r#"for $s in doc("tb")//SBAR return $s//PRP"#).unwrap();
+    let run = |on: bool| {
+        let options = RunOptions {
+            profile: true,
+            struct_index: Some(on),
+            ..RunOptions::default()
+        };
+        let outcome = q.run_with(&vdoc, &options).unwrap();
+        (
+            outcome.output.strings(),
+            outcome.profile.expect("profile requested"),
+        )
+    };
+    let (values_on, profile_on) = run(true);
+    let (values_off, profile_off) = run(false);
+    assert_eq!(values_on, values_off, "pruning changed the answer");
+    assert!(!values_on.is_empty(), "degenerate corpus for the anchor");
+
+    // Index on: subtrees were provably skipped, and the walk shrank.
+    assert!(profile_on.counters.get("struct.summary.hits") > 0);
+    assert!(profile_on.counters.get("struct.nodes.skipped") > 0);
+    let visits_on = profile_on.counters.get("skeleton.visits");
+    let visits_off = profile_off.counters.get("skeleton.visits");
+    assert!(
+        visits_on < visits_off,
+        "index on visited {visits_on} skeleton nodes, off visited {visits_off}"
+    );
+
+    // Index off: the structural counters stay silent.
+    assert_eq!(profile_off.counters.get("struct.summary.hits"), 0);
+    assert_eq!(profile_off.counters.get("struct.nodes.skipped"), 0);
+
+    // Both step patterns carry a named step, so nothing fell back.
+    assert_eq!(profile_on.counters.get("struct.fallbacks"), 0);
+}

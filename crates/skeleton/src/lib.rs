@@ -12,17 +12,21 @@
 //! * the binary `.vxsk` format, both a strict reader/writer and a lenient
 //!   salvage reader for damaged files ([`mod@format`]),
 //! * memoized path counts, per-binding occurrence layouts, and containment
-//!   maps used by the query engine ([`paths`]).
+//!   maps used by the query engine ([`paths`]),
+//! * the structural self-index over the DAG — per-node containment
+//!   bitsets and the `.vxpi` persistence format ([`structural`]).
 
 pub mod arena;
 pub mod format;
 pub mod paths;
 pub mod stream;
+pub mod structural;
 
 pub use arena::{Edge, NameId, NodeId, Skeleton};
 pub use format::{read, read_lenient, write, RawSkeleton, SalvageReport};
 pub use paths::{PathIndex, PathPattern, PatternStep, PatternTest};
 pub use stream::SkeletonBuilder;
+pub use structural::{read_index, write_index, StructIndex};
 
 use std::fmt;
 

@@ -13,6 +13,7 @@
 //! `node` to its text count, independent of ancestry.
 
 use crate::arena::{NameId, NodeId, Skeleton};
+use crate::structural::StructIndex;
 use std::collections::{HashMap, HashSet};
 
 /// A downward tag path (possibly empty), e.g. `[Article, Abstract]`.
@@ -31,13 +32,36 @@ pub struct PathIndex {
     /// node -> (relative path from node's *children* downward, text count).
     /// The node's own name is *not* part of the key paths.
     below: HashMap<NodeId, Vec<(RelPath, u64)>>,
+    /// The structural self-index over the same arena (containment
+    /// bitsets, depth bounds, expansion counts). Built here unless a
+    /// persisted `.vxpi` copy was supplied via
+    /// [`PathIndex::with_structural`].
+    structural: StructIndex,
 }
 
 impl PathIndex {
     pub fn new(skeleton: &Skeleton, root: NodeId) -> Self {
+        Self::assemble(skeleton, root, StructIndex::build(skeleton, root))
+    }
+
+    /// As [`PathIndex::new`], but adopting a structural index loaded
+    /// from disk instead of rebuilding it. The caller must have passed
+    /// [`StructIndex::matches`]; a stale index is rebuilt here as a
+    /// last line of defense.
+    pub fn with_structural(skeleton: &Skeleton, root: NodeId, structural: StructIndex) -> Self {
+        let structural = if structural.matches(skeleton, root) {
+            structural
+        } else {
+            StructIndex::build(skeleton, root)
+        };
+        Self::assemble(skeleton, root, structural)
+    }
+
+    fn assemble(skeleton: &Skeleton, root: NodeId, structural: StructIndex) -> Self {
         let mut index = PathIndex {
             root,
             below: HashMap::new(),
+            structural,
         };
         index.compute_below(skeleton, root);
         index
@@ -45,6 +69,12 @@ impl PathIndex {
 
     pub fn root(&self) -> NodeId {
         self.root
+    }
+
+    /// The structural self-index built (or loaded) alongside this path
+    /// analysis.
+    pub fn structural(&self) -> &StructIndex {
+        &self.structural
     }
 
     /// Memoized: for each downward path from `node` (excluding `node`'s own

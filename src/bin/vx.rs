@@ -444,13 +444,23 @@ fn stats(args: &[String]) {
     debug_assert_eq!(skeleton.expanded_size(root), served.node_count);
     let _ = writeln!(
         out,
-        "bytes        {} skeleton, {} vectors, {} catalog, {} total",
+        "bytes        {} skeleton, {} vectors, {} catalog, {} index, {} total",
         sizes.skeleton_bytes,
         sizes.vector_bytes,
         sizes.catalog_bytes,
+        sizes.index_bytes,
         sizes.total()
     );
     let _ = writeln!(out, "text bytes   {}", served.text_bytes);
+    let _ = writeln!(
+        out,
+        "struct index {}",
+        if handle.structural_loaded() {
+            "persisted (index.vxpi)"
+        } else {
+            "rebuilt at open"
+        }
+    );
     if metrics {
         let wal = handle.wal();
         if handle.generation() == 0 {

@@ -245,8 +245,8 @@ fn explain_golden_plan_is_stable() {
     let join_plan = |strategy: &str, access: &str| {
         format!(
             "variables:\n  \
-               $a := doc(\"sky-store\")//PhotoObj  occurrences=200\n  \
-               $b := doc(\"sky-store\")//PhotoObj  occurrences=200\n\
+               $a := doc(\"sky-store\")//PhotoObj  occurrences=200 match=summary\n  \
+               $b := doc(\"sky-store\")//PhotoObj  occurrences=200 match=summary\n\
              joins:\n  \
                $a/objID = $b/objID  strategy={strategy} access={access} probe_values=200 build_values=200\n\
              output: values\n"
@@ -272,7 +272,7 @@ fn explain_golden_plan_is_stable() {
                 store_arg,
                 r#"for $a in doc("sky-store")//PhotoObj where $a/objID = "000007" return $a/ra"#,
             ],
-            "variables:\n  $a := doc(\"sky-store\")//PhotoObj  occurrences=200\n\
+            "variables:\n  $a := doc(\"sky-store\")//PhotoObj  occurrences=200 match=summary\n\
              filters:\n  $a/objID = \"000007\"  access=value-index\n\
              output: values\n"
                 .to_string(),

@@ -1,0 +1,273 @@
+//! Randomized differential fuzzer: seeded query generation driven by
+//! each store's *actual* path summary, checked against the DOM oracle
+//! under every join strategy × structural-index mode.
+//!
+//! Every generated query is valid XQ[*,//] by construction — steps are
+//! derived from real root-to-text tag paths reported by the path
+//! summary, then mutated into wildcards (`*`), descendant steps (`//`),
+//! literal and `exists()` filters (literals sampled from the store's
+//! own vectors), and two-variable equality joins. The oracle
+//! ([`xmlvec::engine::naive_eval`]) defines ground truth, so mutations
+//! that widen or empty a match set are still exact checks.
+//!
+//! Knobs (both read once, at test start):
+//!
+//! * `VX_FUZZ_SEED`  — u64 generator seed (default `0xF022`). CI runs a
+//!   fixed seed plus the run number, like the crash-recovery fuzzer.
+//! * `VX_FUZZ_CASES` — cases per corpus (default 200).
+//!
+//! On failure the panic message carries `seed=… corpus=… case=…` and the
+//! full query text — replaying is `VX_FUZZ_SEED=<seed> cargo test -q
+//! --test fuzz_queries`.
+
+use xmlvec::core::{reconstruct, vectorize, VecDoc};
+use xmlvec::data::Rng;
+use xmlvec::engine::{naive_eval, NaiveOutput};
+use xmlvec::skeleton::PathIndex;
+use xmlvec::xml::{write_document, Document, WriteOptions};
+use xmlvec::{JoinStrategy, Query, QueryOutput, RunOptions};
+
+const STRATEGIES: [JoinStrategy; 3] = [
+    JoinStrategy::Hash,
+    JoinStrategy::IndexNestedLoop,
+    JoinStrategy::SortMerge,
+];
+
+struct FuzzDoc {
+    name: &'static str,
+    dom: Document,
+    vec: VecDoc,
+    /// Root-to-text tag paths (length ≥ 2: root plus at least one step),
+    /// in first-occurrence document order — the generator's step pool.
+    paths: Vec<Vec<String>>,
+}
+
+impl FuzzDoc {
+    fn new(name: &'static str, dom: Document) -> FuzzDoc {
+        let vec = vectorize(&dom).expect(name);
+        let root = vec.root.expect(name);
+        let index = PathIndex::new(&vec.skeleton, root);
+        let paths: Vec<Vec<String>> = index
+            .text_paths(&vec.skeleton)
+            .into_iter()
+            .map(|(rel, _)| {
+                rel.into_iter()
+                    .map(|n| vec.skeleton.name(n).to_string())
+                    .collect::<Vec<String>>()
+            })
+            .filter(|p| p.len() >= 2)
+            .collect();
+        assert!(!paths.is_empty(), "{name} has no usable text paths");
+        FuzzDoc {
+            name,
+            dom,
+            vec,
+            paths,
+        }
+    }
+
+    /// A literal sampled from the vector behind `path`, restricted to
+    /// values that round-trip through the query surface syntax.
+    fn literal(&self, rng: &mut Rng, path: &[String]) -> Option<String> {
+        let vector = self.vec.vector(&path.join("/"))?;
+        if vector.values.is_empty() {
+            return None;
+        }
+        // A handful of draws; most generated values are plain ASCII.
+        for _ in 0..4 {
+            let raw = &vector.values[rng.below(vector.values.len() as u64) as usize];
+            if let Ok(text) = std::str::from_utf8(raw) {
+                if !text.is_empty()
+                    && text
+                        .chars()
+                        .all(|c| c != '"' && c != '\\' && c != '<' && c != '&' && !c.is_control())
+                {
+                    return Some(text.to_string());
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Renders `segs` as a step string, mutating toward the wider fragment:
+/// interior segments may be dropped (forcing `//` on the next kept
+/// step), kept steps may become descendant steps, and non-attribute
+/// names may become `*`. The last segment is always kept so the path
+/// stays anchored at a real text parent or leaf.
+fn render_steps(rng: &mut Rng, segs: &[String]) -> String {
+    let mut out = String::new();
+    let mut gap = false;
+    for (i, seg) in segs.iter().enumerate() {
+        let last = i + 1 == segs.len();
+        if !last && rng.below(100) < 18 {
+            gap = true;
+            continue;
+        }
+        let descend = gap || rng.below(100) < 12;
+        gap = false;
+        let wild = !seg.starts_with('@') && rng.below(100) < 10;
+        out.push_str(if descend { "//" } else { "/" });
+        out.push_str(if wild { "*" } else { seg });
+    }
+    out
+}
+
+/// Picks a path from `doc` whose first `prefix_len` segments equal
+/// `prefix` and which extends past it — the pool for filters that must
+/// be evaluable relative to an already-bound variable.
+fn extension_of<'a>(rng: &mut Rng, doc: &'a FuzzDoc, prefix: &[String]) -> Option<&'a Vec<String>> {
+    let candidates: Vec<&Vec<String>> = doc
+        .paths
+        .iter()
+        .filter(|p| p.len() > prefix.len() && p[..prefix.len()] == *prefix)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    Some(candidates[rng.below(candidates.len() as u64) as usize])
+}
+
+/// One generated query: the source text plus the docs it draws from.
+fn gen_query(rng: &mut Rng, docs: &[FuzzDoc], primary: usize) -> String {
+    let a = &docs[primary];
+    let path = &a.paths[rng.below(a.paths.len() as u64) as usize];
+    // Split into a variable binding prefix and a return suffix; the
+    // prefix keeps at least the root, the suffix at least the leaf.
+    let j = rng.range(1, path.len() as u64 - 1) as usize;
+    let var = format!("doc(\"{}\"){}", a.name, render_steps(rng, &path[..j]));
+    let ret = render_steps(rng, &path[j..]);
+
+    match rng.below(100) {
+        // Plain projection chain.
+        0..=39 => format!("for $a in {var} return $a{ret}"),
+        // Literal equality filter; literal sampled from the store's own
+        // vector (or a guaranteed miss, to pin empty results).
+        40..=64 => {
+            let filter = extension_of(rng, a, &path[..j]).unwrap_or(path);
+            let suffix = filter[j..].join("/");
+            let value = if rng.below(100) < 20 {
+                "zz-no-such-value".to_string()
+            } else {
+                match a.literal(rng, filter) {
+                    Some(v) => v,
+                    None => "zz-no-such-value".to_string(),
+                }
+            };
+            format!("for $a in {var} where $a/{suffix} = \"{value}\" return $a{ret}")
+        }
+        // Existential filter.
+        65..=77 => {
+            let filter = extension_of(rng, a, &path[..j]).unwrap_or(path);
+            let suffix = filter[j..].join("/");
+            format!("for $a in {var} where exists($a/{suffix}) return $a{ret}")
+        }
+        // Two-variable equality join. Half the time a self-join on the
+        // same suffix (guaranteed matches); otherwise arbitrary pairs,
+        // which are usually sparse or empty — both are ground-truthed.
+        _ => {
+            let suffix_a = path[j..].join("/");
+            if rng.below(2) == 0 {
+                format!(
+                    "for $a in {var}, $b in doc(\"{}\"){} \
+                     where $a/{suffix_a} = $b/{suffix_a} return $b{ret}",
+                    a.name,
+                    render_steps(rng, &path[..j]),
+                )
+            } else {
+                let b = &docs[rng.below(docs.len() as u64) as usize];
+                let path_b = &b.paths[rng.below(b.paths.len() as u64) as usize];
+                let k = rng.range(1, path_b.len() as u64 - 1) as usize;
+                format!(
+                    "for $a in {var}, $b in doc(\"{}\"){} \
+                     where $a/{suffix_a} = $b/{} return $b{}",
+                    b.name,
+                    render_steps(rng, &path_b[..k]),
+                    path_b[k..].join("/"),
+                    render_steps(rng, &path_b[k..]),
+                )
+            }
+        }
+    }
+}
+
+fn engine_xml(doc: &VecDoc, label: &str) -> String {
+    write_document(&reconstruct(doc).expect(label), &WriteOptions::compact())
+}
+
+/// Oracle-vs-engine equality, byte-for-byte (documents compare by
+/// compact serialization after reconstructing the engine's output).
+fn assert_matches_oracle(got: &QueryOutput, expected: &NaiveOutput, label: &str) {
+    match (got, expected) {
+        (QueryOutput::Values(g), NaiveOutput::Values(e)) => {
+            assert_eq!(g, e, "value mismatch [{label}]");
+        }
+        (QueryOutput::Document(g), NaiveOutput::Document(e)) => {
+            let opts = WriteOptions::compact();
+            assert_eq!(
+                engine_xml(g, label),
+                write_document(e, &opts),
+                "document mismatch [{label}]"
+            );
+        }
+        _ => panic!("output shape mismatch [{label}]"),
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a u64, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+#[test]
+fn generated_queries_agree_with_the_oracle_under_every_mode() {
+    let seed = env_u64("VX_FUZZ_SEED", 0xF022);
+    let cases = env_u64("VX_FUZZ_CASES", 200);
+    let docs = vec![
+        FuzzDoc::new("ml", xmlvec::data::medline(11, 24)),
+        FuzzDoc::new("sky", xmlvec::data::skyserver(23, 30)),
+        FuzzDoc::new("xk", xmlvec::data::xmark(7, 16)),
+        FuzzDoc::new("tb", xmlvec::data::treebank(5, 24)),
+    ];
+    let doms: Vec<(&str, &Document)> = docs.iter().map(|d| (d.name, &d.dom)).collect();
+    let vecs: Vec<(&str, &VecDoc)> = docs.iter().map(|d| (d.name, &d.vec)).collect();
+
+    let mut rng = Rng::new(seed);
+    for primary in 0..docs.len() {
+        for case in 0..cases {
+            let src = gen_query(&mut rng, &docs, primary);
+            let tag = format!(
+                "seed={seed} corpus={} case={case} query={src}",
+                docs[primary].name
+            );
+            let parsed = xmlvec::xquery::parse_query(&src)
+                .unwrap_or_else(|e| panic!("generator emitted unparseable query: {e} [{tag}]"));
+            let expected =
+                naive_eval(&parsed, &doms).unwrap_or_else(|e| panic!("oracle failed: {e} [{tag}]"));
+            let query = Query::new(&src).unwrap_or_else(|e| panic!("compile failed: {e} [{tag}]"));
+            for strategy in STRATEGIES {
+                for struct_index in [true, false] {
+                    let options = RunOptions {
+                        strategy: Some(strategy),
+                        struct_index: Some(struct_index),
+                        ..RunOptions::default()
+                    };
+                    let label = format!(
+                        "{tag} strategy={} struct_index={struct_index}",
+                        strategy.name()
+                    );
+                    let got = query
+                        .run_with(&vecs, &options)
+                        .unwrap_or_else(|e| panic!("engine failed: {e} [{label}]"))
+                        .output;
+                    assert_matches_oracle(&got, &expected, &label);
+                }
+            }
+        }
+    }
+}

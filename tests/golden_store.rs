@@ -172,3 +172,57 @@ fn ss_1500_compact_dictionary_vector_decodes() {
     }
     assert_eq!(distinct.len(), 7);
 }
+
+/// Pre-v9 stores predate the `index.vxpi` structural-index section.
+/// The checked-in golden stores must carry no such file (pinning what
+/// "pre-v9" means), still open through the salvage path, and a modern
+/// store whose `index.vxpi` is removed must open all the same — the
+/// handle rebuilds the structural index from the skeleton and answers
+/// queries identically.
+#[test]
+fn stores_without_a_structural_index_still_open() {
+    use xmlvec::core::{vectorize, Compaction, StoreHandle};
+    use xmlvec::{Query, RunOptions};
+
+    for name in ["ml-4000", "ml-20000", "ss-1500-compact"] {
+        assert!(
+            !store_dir(name).join("index.vxpi").exists(),
+            "{name} is a pre-v9 golden store and must not grow an index.vxpi"
+        );
+        Store::open_salvage(&store_dir(name)).unwrap();
+    }
+
+    let dir = std::env::temp_dir().join(format!("vx-golden-vxpi-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let doc = xmlvec::data::medline(3, 40);
+    Store::save(&dir, &vectorize(&doc).unwrap(), Compaction::Auto).unwrap();
+    assert!(
+        dir.join("index.vxpi").exists(),
+        "v9 saves persist the index"
+    );
+
+    let src = r#"for $c in doc("ml")/MedlineCitationSet/MedlineCitation return $c/PMID"#;
+    let query = Query::new(src).unwrap();
+    let with_index = StoreHandle::open(&dir).unwrap();
+    assert!(with_index.structural_loaded());
+    let expected = query
+        .run_with(&with_index, &RunOptions::default())
+        .unwrap()
+        .output
+        .strings();
+    assert_eq!(expected.len(), 40);
+
+    std::fs::remove_file(dir.join("index.vxpi")).unwrap();
+    let rebuilt = StoreHandle::open(&dir).unwrap();
+    assert!(
+        !rebuilt.structural_loaded(),
+        "no persisted section — must fall back to rebuild-on-open"
+    );
+    let got = query
+        .run_with(&rebuilt, &RunOptions::default())
+        .unwrap()
+        .output
+        .strings();
+    assert_eq!(got, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
