@@ -123,6 +123,13 @@ pub struct RunOptions {
     /// the `VX_STRUCT_INDEX` environment variable (`0`/`off` disables;
     /// unset or anything else enables).
     pub struct_index: Option<bool>,
+    /// Request-scoped trace id attached to every `engine.step` /
+    /// `engine.join` / `engine.reduce` event this run emits through the
+    /// `VX_LOG` sink, so concurrent callers (the server runs one query
+    /// per connection thread) can attribute spans and counter deltas to
+    /// a specific request. `None` leaves the events unattributed, as
+    /// before.
+    pub trace: Option<vx_obs::TraceId>,
 }
 
 impl Default for RunOptions {
@@ -133,6 +140,7 @@ impl Default for RunOptions {
             use_indexes: true,
             strategy: None,
             struct_index: None,
+            trace: None,
         }
     }
 }

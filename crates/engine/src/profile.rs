@@ -81,20 +81,26 @@ impl QueryProfile {
 
     /// Emits the profile to the `VX_LOG` event sink (no-op when the sink
     /// is disabled): one `engine.step` event per span, then one
-    /// `engine.reduce` event carrying the totals and counters.
-    pub fn log(&self, query_hint: &str) {
+    /// `engine.reduce` event carrying the totals and counters. When
+    /// `trace` is set (the server's per-request id from
+    /// [`crate::RunOptions::trace`]), every event carries a `trace`
+    /// field so concurrent runs' spans and counter deltas stay
+    /// distinguishable in one interleaved log.
+    pub fn log(&self, query_hint: &str, trace: Option<vx_obs::TraceId>) {
         if !vx_obs::log_enabled() {
             return;
         }
+        let trace_str = trace.map(|t| t.to_string());
         for step in &self.steps {
-            vx_obs::event(
-                "engine.step",
-                &[
-                    ("query", vx_obs::Value::Str(query_hint)),
-                    ("step", vx_obs::Value::Str(&step.name)),
-                    ("secs", vx_obs::Value::F64(step.secs)),
-                ],
-            );
+            let mut fields: Vec<(&str, vx_obs::Value<'_>)> = vec![
+                ("query", vx_obs::Value::Str(query_hint)),
+                ("step", vx_obs::Value::Str(&step.name)),
+                ("secs", vx_obs::Value::F64(step.secs)),
+            ];
+            if let Some(t) = &trace_str {
+                fields.push(("trace", vx_obs::Value::Str(t)));
+            }
+            vx_obs::event("engine.step", &fields);
         }
         let mut fields: Vec<(&str, vx_obs::Value<'_>)> = vec![
             ("query", vx_obs::Value::Str(query_hint)),
@@ -103,6 +109,9 @@ impl QueryProfile {
         let counters: Vec<(&'static str, u64)> = self.counters.iter().collect();
         for (name, value) in &counters {
             fields.push((name, vx_obs::Value::U64(*value)));
+        }
+        if let Some(t) = &trace_str {
+            fields.push(("trace", vx_obs::Value::Str(t)));
         }
         vx_obs::event("engine.reduce", &fields);
     }

@@ -294,7 +294,15 @@ fn reduce_inner(
             .ok()
             .and_then(|s| JoinStrategy::parse(&s))
     });
-    let plans = plan_execution(graph, docs, &var_doc, &state, forced, options.use_indexes);
+    let plans = plan_execution(
+        graph,
+        docs,
+        &var_doc,
+        &state,
+        forced,
+        options.use_indexes,
+        options.trace,
+    );
     if profiling {
         spans.tile(Some("join-build"));
     }
@@ -379,7 +387,7 @@ fn reduce_inner(
         variables,
         total_secs,
     };
-    profile.log(hint);
+    profile.log(hint, options.trace);
     Ok((output, Some(profile)))
 }
 
@@ -1362,6 +1370,7 @@ fn plan_execution<'a>(
     state: &'a State,
     forced: Option<JoinStrategy>,
     use_indexes: bool,
+    trace: Option<vx_obs::TraceId>,
 ) -> ExecPlans<'a> {
     let mut joins: HashMap<(usize, usize), JoinExec<'a>> = HashMap::new();
     let mut eq_filters: Vec<(usize, &'a str, Vec<usize>)> = Vec::new();
@@ -1384,6 +1393,22 @@ fn plan_execution<'a>(
             let has_index = persistent_vector_of(build_doc, state, build, build_occs).is_some();
             let strategy =
                 choose_strategy(forced, use_indexes, has_index, probe_values, build_values);
+            if vx_obs::log_enabled() {
+                let probe_label = ref_label(graph, probe);
+                let build_label = ref_label(graph, build);
+                let trace_str = trace.map(|t| t.to_string());
+                let mut fields: Vec<(&str, vx_obs::Value<'_>)> = vec![
+                    ("probe", vx_obs::Value::Str(&probe_label)),
+                    ("build", vx_obs::Value::Str(&build_label)),
+                    ("strategy", vx_obs::Value::Str(strategy.name())),
+                    ("probe_values", vx_obs::Value::U64(probe_values)),
+                    ("build_values", vx_obs::Value::U64(build_values)),
+                ];
+                if let Some(t) = &trace_str {
+                    fields.push(("trace", vx_obs::Value::Str(t)));
+                }
+                vx_obs::event("engine.join", &fields);
+            }
             let data = match strategy {
                 JoinStrategy::Hash => {
                     JoinData::Hash(hash_build(build_doc, state, build, build_occs))

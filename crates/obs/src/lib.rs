@@ -34,6 +34,15 @@ use std::io::Write as _;
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod prom;
+pub mod registry;
+pub mod ring;
+pub mod trace;
+
+pub use registry::Registry;
+pub use ring::Ring;
+pub use trace::{TraceCtx, TraceId};
+
 // ---------------------------------------------------------------------
 // Counters
 // ---------------------------------------------------------------------
@@ -221,6 +230,22 @@ impl Histogram {
         exp * 4 + sub
     }
 
+    /// Inclusive upper bound of bucket `i`'s value range (its exact
+    /// value for the four smallest buckets). Used to export the
+    /// log-bucketed layout as conventional cumulative buckets. Indices
+    /// 4–7 are unreachable (values ≥ 4 have exponent ≥ 2, landing at
+    /// index 8 or above); they report the same bound as bucket 3.
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i < 8 {
+            return i.min(3) as u64;
+        }
+        let exp = i / 4;
+        let sub = (i % 4) as u64;
+        let width = 1u64 << (exp - 2);
+        let lower = (4 + sub) << (exp - 2);
+        lower + width - 1
+    }
+
     /// Midpoint of bucket `i`'s value range (its exact value for the
     /// four smallest buckets).
     fn bucket_mid(i: usize) -> u64 {
@@ -250,6 +275,40 @@ impl Histogram {
     fn snapshot(&self) -> Vec<u64> {
         use std::sync::atomic::Ordering::Relaxed;
         self.counts.iter().map(|c| c.load(Relaxed)).collect()
+    }
+
+    /// Point-in-time per-bucket counts (index `i` covers values up to
+    /// [`Histogram::bucket_upper`]`(i)` inclusive).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.snapshot()
+    }
+
+    /// Cumulative counts at each of `bounds_us` (which must be sorted
+    /// ascending), suitable for Prometheus `_bucket` series. Each
+    /// internal bucket is attributed to the smallest bound ≥ its upper
+    /// value, so every returned count is a *guaranteed* "observations
+    /// ≤ bound" lower bound, the series is monotone, and observations in
+    /// buckets straddling or exceeding every bound appear only in the
+    /// `+Inf` bucket (the total, [`Histogram::count`]).
+    pub fn cumulative_us(&self, bounds_us: &[u64]) -> Vec<u64> {
+        debug_assert!(bounds_us.windows(2).all(|w| w[0] < w[1]));
+        let counts = self.snapshot();
+        let mut per_bound = vec![0u64; bounds_us.len()];
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upper = Self::bucket_upper(i);
+            if let Some(slot) = bounds_us.iter().position(|&b| b >= upper) {
+                per_bound[slot] += c;
+            }
+        }
+        let mut cumulative = 0u64;
+        for slot in per_bound.iter_mut() {
+            cumulative += *slot;
+            *slot = cumulative;
+        }
+        per_bound
     }
 
     /// Total observations recorded.
@@ -614,6 +673,44 @@ mod tests {
         tiny.record_us(3);
         assert_eq!(tiny.quantile_us(0.0), 0);
         assert_eq!(tiny.quantile_us(1.0), 3, "small values are exact");
+    }
+
+    #[test]
+    fn histogram_bucket_upper_matches_bucket_of() {
+        // `bucket_upper(i)` must be the largest value that still maps to
+        // bucket `i`: itself lands in `i`, its successor does not.
+        // Indices 4–7 are unreachable in this layout and excluded.
+        for i in (0..4).chain(8..HIST_BUCKETS - 1) {
+            let upper = Histogram::bucket_upper(i);
+            assert_eq!(Histogram::bucket_of(upper), i, "upper of bucket {i}");
+            if let Some(next) = upper.checked_add(1) {
+                assert!(Histogram::bucket_of(next) > i, "successor of bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_cumulative_buckets_are_monotone_lower_bounds() {
+        let h = Histogram::new();
+        for us in [1u64, 50, 120, 900, 5_000, 70_000, 2_000_000] {
+            h.record_us(us);
+        }
+        let bounds = [100u64, 1_000, 10_000, 100_000, 1_000_000];
+        let cumulative = h.cumulative_us(&bounds);
+        assert!(
+            cumulative.windows(2).all(|w| w[0] <= w[1]),
+            "{cumulative:?}"
+        );
+        // Every cumulative count is a lower bound on the true count of
+        // observations ≤ the bound, and never exceeds the total.
+        let truth = [2u64, 4, 5, 6, 6];
+        for ((&got, &want), &bound) in cumulative.iter().zip(&truth).zip(&bounds) {
+            assert!(got <= want, "le={bound}: {got} > true {want}");
+            assert!(got <= h.count());
+        }
+        // The 2 000 000 µs observation exceeds every bound: only +Inf
+        // (the total) sees it.
+        assert!(cumulative[bounds.len() - 1] < h.count());
     }
 
     #[test]

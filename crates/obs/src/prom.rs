@@ -1,0 +1,404 @@
+//! Prometheus text exposition format (version 0.0.4) primitives and a
+//! small validator.
+//!
+//! The formatting half renders escaped HELP text, label values, and
+//! numbers (including `+Inf`) the way scrapers expect; the
+//! [`Registry`](crate::registry::Registry) builder in the sibling
+//! module groups samples into families on top of these primitives. The
+//! validating half, [`validate_exposition`], is a deliberately strict
+//! parser used by the test suite and CI smoke to pin the server's
+//! `/metrics` output: every sample must belong to a family announced by
+//! `# HELP` + `# TYPE` lines, histogram `_bucket` series must be
+//! cumulative and monotone with a `+Inf` bucket equal to `_count`, and
+//! a `_sum` must accompany every histogram.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Whether `name` is a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` is a legal label name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+pub fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes a HELP line payload (`\` and newline).
+pub fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value (`\`, `"`, and newline).
+pub fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a sample value: integers without a fraction, floats via the
+/// shortest `f64` form, infinities as `+Inf`/`-Inf`.
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        let mut out = String::new();
+        let _ = write!(out, "{v}");
+        out
+    }
+}
+
+/// Renders a `{key="value",...}` label block ("" when empty).
+pub fn format_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{key}=\"{}\"", escape_label_value(value));
+    }
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    /// Label block with any `le` pair removed — identifies the series a
+    /// histogram bucket belongs to.
+    series_key: String,
+    /// Parsed `le` label, if present.
+    le: Option<f64>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value_str) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label block: {line}"))?;
+            if close < open {
+                return Err(format!("malformed label block: {line}"));
+            }
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let mut parts = line.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let rest = parts.next().unwrap_or("").trim();
+            (name, rest)
+        }
+    };
+    let (name, labels) = match name_labels.find('{') {
+        Some(open) => (
+            &name_labels[..open],
+            &name_labels[open + 1..name_labels.len() - 1],
+        ),
+        None => (name_labels, ""),
+    };
+    if !valid_metric_name(name) {
+        return Err(format!("bad metric name `{name}` in: {line}"));
+    }
+    let mut le = None;
+    let mut kept = Vec::new();
+    if !labels.is_empty() {
+        // Our generator never emits `,` or `"` inside label values, so a
+        // simple comma split suffices for validation purposes.
+        for pair in labels.split(',') {
+            let (key, raw) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad label pair `{pair}` in: {line}"))?;
+            if !valid_label_name(key) {
+                return Err(format!("bad label name `{key}` in: {line}"));
+            }
+            let value = raw
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("unquoted label value `{raw}` in: {line}"))?;
+            if key == "le" {
+                le = Some(if value == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    value
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad le `{value}` in: {line}"))?
+                });
+            } else {
+                kept.push(pair.to_string());
+            }
+        }
+    }
+    let value = if value_str == "+Inf" {
+        f64::INFINITY
+    } else if value_str == "-Inf" {
+        f64::NEG_INFINITY
+    } else {
+        value_str
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value `{value_str}` in: {line}"))?
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        series_key: kept.join(","),
+        le,
+        value,
+    })
+}
+
+/// Strictly validates a text-format exposition page. Checks:
+///
+/// * every line is a comment, blank, or a well-formed sample;
+/// * every sample's family was announced by `# HELP` **and** `# TYPE`
+///   lines (histogram samples may use the `_bucket`/`_sum`/`_count`
+///   suffixes of their family name);
+/// * `TYPE` is one of `counter`, `gauge`, `histogram`, `summary`,
+///   `untyped`;
+/// * per histogram series: `le` values strictly increase, cumulative
+///   bucket counts are monotone non-decreasing, a `+Inf` bucket exists
+///   and equals the series' `_count`, and a `_sum` sample is present;
+/// * counter and gauge sample values are finite, counters non-negative.
+///
+/// Returns the number of samples validated.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut help: BTreeMap<String, ()> = BTreeMap::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // (family, series_key) → per-series histogram state.
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut sums: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut samples = 0usize;
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(payload) = rest.strip_prefix("HELP ") {
+                let name = payload.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("bad HELP name in: {line}"));
+                }
+                help.insert(name.to_string(), ());
+            } else if let Some(payload) = rest.strip_prefix("TYPE ") {
+                let mut parts = payload.split(' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("bad TYPE name in: {line}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("unknown TYPE `{kind}` in: {line}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("duplicate TYPE for `{name}`"));
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // bare comment
+        }
+
+        let sample = parse_sample(line)?;
+        samples += 1;
+
+        // Resolve the family: exact name, or histogram suffix.
+        let (family, suffix) = match types.get(&sample.name) {
+            Some(_) => (sample.name.clone(), ""),
+            None => {
+                let stripped = ["_bucket", "_sum", "_count"]
+                    .iter()
+                    .find_map(|s| sample.name.strip_suffix(s).map(|base| (base, *s)));
+                match stripped {
+                    Some((base, suffix))
+                        if types.get(base).map(String::as_str) == Some("histogram") =>
+                    {
+                        (base.to_string(), suffix)
+                    }
+                    _ => return Err(format!("sample without TYPE: {}", sample.name)),
+                }
+            }
+        };
+        if !help.contains_key(&family) {
+            return Err(format!("sample without HELP: {}", sample.name));
+        }
+
+        let kind = types.get(&family).unwrap().as_str();
+        let key = (family.clone(), sample.series_key.clone());
+        match (kind, suffix) {
+            ("histogram", "_bucket") => {
+                let le = sample
+                    .le
+                    .ok_or_else(|| format!("_bucket without le: {line}"))?;
+                let series = buckets.entry(key).or_default();
+                if let Some(&(last_le, last_count)) = series.last() {
+                    if le <= last_le {
+                        return Err(format!(
+                            "le not increasing for {family}: {le} after {last_le}"
+                        ));
+                    }
+                    if sample.value < last_count {
+                        return Err(format!(
+                            "bucket counts not cumulative for {family}: {} after {last_count}",
+                            sample.value
+                        ));
+                    }
+                }
+                series.push((le, sample.value));
+            }
+            ("histogram", "_sum") => {
+                sums.insert(key, sample.value);
+            }
+            ("histogram", "_count") => {
+                counts.insert(key, sample.value);
+            }
+            ("histogram", _) => {
+                return Err(format!("bare sample for histogram family: {line}"));
+            }
+            ("counter", _) => {
+                if !sample.value.is_finite() || sample.value < 0.0 {
+                    return Err(format!("counter value not a finite non-negative: {line}"));
+                }
+            }
+            _ => {
+                if !sample.value.is_finite() {
+                    return Err(format!("non-finite sample value: {line}"));
+                }
+            }
+        }
+    }
+
+    for ((family, series), series_buckets) in &buckets {
+        let key = (family.clone(), series.clone());
+        let inf = series_buckets
+            .last()
+            .filter(|(le, _)| le.is_infinite())
+            .map(|(_, count)| *count)
+            .ok_or_else(|| format!("histogram {family}{{{series}}} missing +Inf bucket"))?;
+        let count = counts
+            .get(&key)
+            .ok_or_else(|| format!("histogram {family}{{{series}}} missing _count"))?;
+        if (inf - count).abs() > f64::EPSILON * count.abs().max(1.0) {
+            return Err(format!(
+                "histogram {family}{{{series}}}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+        if !sums.contains_key(&key) {
+            return Err(format!("histogram {family}{{{series}}} missing _sum"));
+        }
+    }
+    // A histogram with _sum/_count but no buckets at all is malformed.
+    for (family, series) in counts.keys() {
+        if !buckets.contains_key(&(family.clone(), series.clone())) {
+            return Err(format!(
+                "histogram {family}{{{series}}} has no _bucket series"
+            ));
+        }
+    }
+
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_escapes() {
+        assert!(valid_metric_name("vx_serve_requests_total"));
+        assert!(valid_metric_name("_x:y"));
+        assert!(!valid_metric_name("9lives"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("a-b"));
+        assert!(valid_label_name("endpoint"));
+        assert!(!valid_label_name("le:"));
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(2.0), "2");
+        assert_eq!(format_value(0.0001), "0.0001");
+        assert_eq!(
+            format_labels(&[("store", "xk"), ("kind", "a\"b")]),
+            "{store=\"xk\",kind=\"a\\\"b\"}"
+        );
+        assert_eq!(format_labels(&[]), "");
+    }
+
+    const GOOD: &str = "\
+# HELP vx_requests_total Total requests.\n\
+# TYPE vx_requests_total counter\n\
+vx_requests_total 42\n\
+# HELP vx_latency_seconds Request latency.\n\
+# TYPE vx_latency_seconds histogram\n\
+vx_latency_seconds_bucket{endpoint=\"query\",le=\"0.001\"} 3\n\
+vx_latency_seconds_bucket{endpoint=\"query\",le=\"0.01\"} 7\n\
+vx_latency_seconds_bucket{endpoint=\"query\",le=\"+Inf\"} 9\n\
+vx_latency_seconds_sum{endpoint=\"query\"} 0.5\n\
+vx_latency_seconds_count{endpoint=\"query\"} 9\n";
+
+    #[test]
+    fn accepts_well_formed_exposition() {
+        assert_eq!(validate_exposition(GOOD).unwrap(), 6);
+    }
+
+    #[test]
+    fn rejects_malformed_expositions() {
+        // No TYPE line.
+        assert!(validate_exposition("x_total 1\n").is_err());
+        // No HELP line.
+        assert!(validate_exposition("# TYPE x_total counter\nx_total 1\n").is_err());
+        // Negative counter.
+        assert!(
+            validate_exposition("# HELP x_total t\n# TYPE x_total counter\nx_total -1\n").is_err()
+        );
+        // Non-monotone buckets.
+        let shrinking = GOOD.replace(
+            "vx_latency_seconds_bucket{endpoint=\"query\",le=\"0.01\"} 7",
+            "vx_latency_seconds_bucket{endpoint=\"query\",le=\"0.01\"} 2",
+        );
+        assert!(validate_exposition(&shrinking).is_err());
+        // +Inf disagrees with _count.
+        let skewed = GOOD.replace(
+            "vx_latency_seconds_count{endpoint=\"query\"} 9",
+            "vx_latency_seconds_count{endpoint=\"query\"} 10",
+        );
+        assert!(validate_exposition(&skewed).is_err());
+        // Missing +Inf bucket entirely.
+        let truncated = GOOD.replace(
+            "vx_latency_seconds_bucket{endpoint=\"query\",le=\"+Inf\"} 9\n",
+            "",
+        );
+        assert!(validate_exposition(&truncated).is_err());
+        // Missing _sum.
+        let sumless = GOOD.replace("vx_latency_seconds_sum{endpoint=\"query\"} 0.5\n", "");
+        assert!(validate_exposition(&sumless).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! A metric-family builder for Prometheus exposition.
+//!
+//! [`Registry`] is a *per-scrape* builder, not a long-lived store: the
+//! server keeps its state in plain atomics and [`Histogram`]s, and each
+//! `GET /metrics` request constructs a fresh `Registry`, pours the
+//! current values in, and renders once. That keeps exposition concerns
+//! (HELP/TYPE grouping, escaping, bucket bounds) out of the hot path
+//! entirely — the serving threads never see this type.
+//!
+//! Calling the same family name repeatedly (e.g. one labeled histogram
+//! per endpoint) appends samples to the existing family, so the page
+//! still carries exactly one `# HELP`/`# TYPE` pair per name.
+
+use std::fmt::Write as _;
+
+use crate::prom::{escape_help, format_labels, format_value, valid_label_name, valid_metric_name};
+use crate::Histogram;
+
+/// Default latency bucket bounds in microseconds: 100 µs … 10 s in a
+/// 1–2.5–5 progression, a sensible spread for a query server whose
+/// answers range from cache hits to multi-second joins.
+pub const LATENCY_BOUNDS_US: [u64; 16] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    /// Pre-rendered sample lines, in insertion order.
+    lines: Vec<String>,
+}
+
+/// Accumulates metric families and renders one exposition page.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: Kind) -> &mut Family {
+        debug_assert!(valid_metric_name(name), "bad metric name {name}");
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            debug_assert_eq!(self.families[i].kind, kind, "family {name} changed kind");
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            lines: Vec::new(),
+        });
+        self.families.last_mut().unwrap()
+    }
+
+    fn sample(family: &mut Family, suffix: &str, labels: &[(&str, &str)], value: f64) {
+        debug_assert!(labels.iter().all(|(k, _)| valid_label_name(k)));
+        let mut line = String::with_capacity(64);
+        let _ = write!(
+            line,
+            "{}{suffix}{} {}",
+            family.name,
+            format_labels(labels),
+            format_value(value)
+        );
+        family.lines.push(line);
+    }
+
+    /// Adds an (optionally labeled) counter sample. By convention the
+    /// name should end in `_total`.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        let family = self.family(name, help, Kind::Counter);
+        Self::sample(family, "", labels, value as f64);
+    }
+
+    /// Adds an (optionally labeled) gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let family = self.family(name, help, Kind::Gauge);
+        Self::sample(family, "", labels, value);
+    }
+
+    /// Exports a [`Histogram`] (recorded in µs) as a cumulative-bucket
+    /// histogram in **seconds**, using `bounds_us` (sorted ascending)
+    /// as the `le` bounds plus `+Inf`. See
+    /// [`Histogram::cumulative_us`] for the bucket-assignment rule that
+    /// keeps the series monotone with `+Inf` equal to `_count`.
+    pub fn histogram_us(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+        bounds_us: &[u64],
+    ) {
+        let cumulative = hist.cumulative_us(bounds_us);
+        let count = hist.count();
+        let sum_secs = hist.sum_us() as f64 / 1e6;
+        let bound_strings: Vec<String> = bounds_us
+            .iter()
+            .map(|&b| format_value(b as f64 / 1e6))
+            .collect();
+        let family = self.family(name, help, Kind::Histogram);
+        let mut labels_le: Vec<(&str, &str)> = labels.to_vec();
+        for (le, &cum) in bound_strings.iter().zip(&cumulative) {
+            labels_le.push(("le", le));
+            Self::sample(family, "_bucket", &labels_le, cum as f64);
+            labels_le.pop();
+        }
+        labels_le.push(("le", "+Inf"));
+        Self::sample(family, "_bucket", &labels_le, count as f64);
+        labels_le.pop();
+        Self::sample(family, "_sum", labels, sum_secs);
+        Self::sample(family, "_count", labels, count as f64);
+    }
+
+    /// Renders the full exposition page (text format 0.0.4).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for family in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+            for line in &family.lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prom::validate_exposition;
+
+    #[test]
+    fn renders_grouped_families_that_validate() {
+        let mut reg = Registry::new();
+        reg.counter("vx_requests_total", "Total requests.", &[], 7);
+        reg.gauge("vx_inflight", "In-flight requests.", &[], 2.0);
+        reg.gauge(
+            "vx_store_generation",
+            "Store generation.",
+            &[("store", "xk")],
+            3.0,
+        );
+        reg.gauge(
+            "vx_store_generation",
+            "Store generation.",
+            &[("store", "tb")],
+            5.0,
+        );
+        let h = Histogram::new();
+        for us in [80u64, 300, 12_000, 2_000_000] {
+            h.record_us(us);
+        }
+        reg.histogram_us(
+            "vx_request_seconds",
+            "Latency.",
+            &[("endpoint", "query")],
+            &h,
+            &LATENCY_BOUNDS_US,
+        );
+        reg.histogram_us(
+            "vx_request_seconds",
+            "Latency.",
+            &[("endpoint", "stats")],
+            &Histogram::new(),
+            &LATENCY_BOUNDS_US,
+        );
+        let page = reg.render();
+        validate_exposition(&page).expect("exposition validates");
+        // One HELP/TYPE pair per family even with repeated calls.
+        assert_eq!(page.matches("# TYPE vx_store_generation gauge").count(), 1);
+        assert_eq!(
+            page.matches("# TYPE vx_request_seconds histogram").count(),
+            1
+        );
+        assert!(page.contains("vx_store_generation{store=\"tb\"} 5"));
+        assert!(page.contains("le=\"+Inf\"} 4"));
+        assert!(page.contains("vx_request_seconds_count{endpoint=\"query\"} 4"));
+        // The 2 s observation lands within the 2.5 s bound.
+        assert!(page.contains("{endpoint=\"query\",le=\"2.5\"} 4"));
+    }
+}

@@ -1,0 +1,133 @@
+//! A fixed-capacity ring buffer for flight-recorder style capture.
+//!
+//! [`Ring`] keeps the most recent `capacity` items pushed into it,
+//! evicting the oldest on overflow. It is "lock-light" rather than
+//! lock-free: pushes and snapshots take a plain mutex, which is fine
+//! because the intended producers are *rare* events (slow queries —
+//! by definition requests that already spent ≥ `VX_SLOW_MS` doing real
+//! work) and the consumer is a debug endpoint. The lock is
+//! poison-tolerant: a panicking pusher never disables the recorder.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded most-recent-N buffer shared between threads.
+#[derive(Debug)]
+pub struct Ring<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    buf: VecDeque<T>,
+    pushed: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Ring<T> {
+        let capacity = capacity.max(1);
+        Ring {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity),
+                pushed: 0,
+            }),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Appends `item`, evicting the oldest entry when full.
+    pub fn push(&self, item: T) {
+        let mut inner = self.lock();
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(item);
+        inner.pushed += 1;
+    }
+
+    /// Number of items currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity chosen at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total items ever pushed, including those since evicted.
+    pub fn total_pushed(&self) -> u64 {
+        self.lock().pushed
+    }
+
+    /// Drains the ring, returning all held items oldest-first.
+    pub fn drain(&self) -> Vec<T> {
+        self.lock().buf.drain(..).collect()
+    }
+}
+
+impl<T: Clone> Ring<T> {
+    /// Copies out the held items, oldest-first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.lock().buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_up_to_capacity() {
+        let ring = Ring::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.total_pushed(), 5);
+        assert_eq!(ring.snapshot(), [2, 3, 4], "oldest evicted first");
+        assert_eq!(ring.drain(), [2, 3, 4]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.total_pushed(), 5, "drain does not reset the total");
+    }
+
+    #[test]
+    fn concurrent_pushes_never_exceed_capacity() {
+        let ring = Ring::new(8);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        ring.push(t * 100 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.total_pushed(), 400);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = Ring::new(0);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.snapshot(), ["b"]);
+    }
+}

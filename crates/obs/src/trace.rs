@@ -1,0 +1,156 @@
+//! Request-scoped tracing: trace ids and per-request span stacks.
+//!
+//! `vx serve` allocates one [`TraceCtx`] per HTTP request and threads
+//! its [`TraceId`] through the engine via `RunOptions`, so every
+//! `engine.step`/`engine.reduce`/`serve.*` event in the `VX_LOG` stream
+//! carries a `trace` field attributing it to a specific request instead
+//! of the process. The id is also echoed to the client (`"trace"` in
+//! `/query` answers, `"request_id"` in structured error bodies), which
+//! makes a client-reported failure greppable in the server log.
+//!
+//! Ids are 64-bit and unique *per process*: a random-ish epoch tag
+//! (from `SystemTime` at first use, so two server restarts don't reuse
+//! ids) in the high bits plus a monotone counter in the low bits.
+//! Allocation is one relaxed atomic add — cheap enough to stamp every
+//! request unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::Spans;
+
+/// A process-unique request identifier, rendered as 16 lowercase hex
+/// digits (`smallest stable form that is still greppable`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+/// High-bits epoch tag: sub-second wall-clock entropy captured once per
+/// process, so ids from successive server runs almost never collide.
+fn epoch_tag() -> u64 {
+    static TAG: OnceLock<u64> = OnceLock::new();
+    *TAG.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x5eed);
+        // Keep 24 bits of entropy clear of the counter's low 40 bits.
+        (nanos & 0xff_ffff) << 40
+    })
+}
+
+impl TraceId {
+    /// Allocates the next process-unique id.
+    pub fn next() -> TraceId {
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        TraceId(epoch_tag() | (n & 0xff_ff_ff_ff_ff))
+    }
+
+    /// Parses the 16-hex-digit rendering back into an id.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        (s.len() == 16)
+            .then(|| u64::from_str_radix(s, 16).ok())
+            .flatten()
+            .map(TraceId)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One request's tracing context: its id plus a tiled span stack for
+/// request-level phases (read/handle/write). The engine keeps its own
+/// per-run spans inside `QueryProfile`; this stack is for the layer
+/// *around* the engine.
+#[derive(Debug)]
+pub struct TraceCtx {
+    pub id: TraceId,
+    pub spans: Spans,
+}
+
+impl TraceCtx {
+    /// Starts a new context with a fresh id and an armed span clock.
+    pub fn begin() -> TraceCtx {
+        let mut spans = Spans::new();
+        spans.tile(None);
+        TraceCtx {
+            id: TraceId::next(),
+            spans,
+        }
+    }
+
+    /// Closes the current phase under `name` (chained-boundary tiling,
+    /// see [`Spans::tile`]).
+    pub fn phase(&mut self, name: &str) {
+        self.spans.tile(Some(name));
+    }
+
+    /// The id rendered for JSON bodies and event fields.
+    pub fn id_string(&self) -> String {
+        self.id.to_string()
+    }
+
+    /// Emits one `VX_LOG` event with this context's `trace` field
+    /// appended. No-op when the sink is disabled.
+    pub fn event(&self, name: &str, fields: &[(&str, crate::Value<'_>)]) {
+        if !crate::log_enabled() {
+            return;
+        }
+        let id = self.id_string();
+        let mut all: Vec<(&str, crate::Value<'_>)> = Vec::with_capacity(fields.len() + 1);
+        all.extend_from_slice(fields);
+        all.push(("trace", crate::Value::Str(&id)));
+        crate::event(name, &all);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_round_trip() {
+        let a = TraceId::next();
+        let b = TraceId::next();
+        assert_ne!(a, b);
+        let rendered = a.to_string();
+        assert_eq!(rendered.len(), 16);
+        assert_eq!(TraceId::parse(&rendered), Some(a));
+        assert_eq!(TraceId::parse("nope"), None);
+        assert_eq!(TraceId::parse(""), None);
+    }
+
+    #[test]
+    fn concurrent_allocation_never_collides() {
+        let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    for _ in 0..1000 {
+                        local.push(TraceId::next());
+                    }
+                    let mut set = ids.lock().unwrap();
+                    for id in local {
+                        assert!(set.insert(id), "duplicate trace id {id}");
+                    }
+                });
+            }
+        });
+        assert_eq!(ids.into_inner().unwrap().len(), 8000);
+    }
+
+    #[test]
+    fn ctx_phases_tile() {
+        let mut ctx = TraceCtx::begin();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        ctx.phase("read");
+        ctx.phase("handle");
+        let names: Vec<&str> = ctx.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["read", "handle"]);
+        assert!(ctx.spans.total() > 0.0);
+    }
+}

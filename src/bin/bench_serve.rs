@@ -14,7 +14,11 @@
 //!    the 13-query table3 workload over keep-alive connections (with
 //!    `/stats`, `/metrics` and `/healthz` probes mixed in). Latency is
 //!    measured twice: client-side wall time per request, and the
-//!    server's own per-endpoint histograms scraped from `/metrics`.
+//!    server's own per-endpoint histograms scraped from `/stats`. A
+//!    sampler thread polls `/stats` throughout the run recording the
+//!    queue-depth and slow-log-occupancy gauges, and the final
+//!    `/metrics` answer is validated against the Prometheus text
+//!    exposition format before the report is written.
 //! 2. **reduce** — for each corpus at the configured scale, a
 //!    two-document join (the corpus paired with a copy of itself under
 //!    a second name) is evaluated with the scoped-thread per-document
@@ -31,7 +35,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::exit;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use xmlvec::bench::{build_corpus_store, corpus, BenchScales, DATASETS};
 use xmlvec::core::json::{to_string_pretty, Json};
@@ -223,9 +229,30 @@ struct ClientSide {
     healthz: Histogram,
 }
 
-/// Runs the closed-loop load phase; returns the client-side histograms
-/// and the final `/metrics` document scraped from the server.
-fn load_phase(config: &Config, addr: SocketAddr) -> (ClientSide, Json) {
+/// Occupancy gauges sampled from `/stats` while the load loop runs.
+struct LoadSamples {
+    queue_depth: Vec<f64>,
+    slowlog_entries: Vec<f64>,
+}
+
+fn sample_row(samples: &[f64]) -> Json {
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    let mean = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    };
+    Json::Object(vec![
+        ("samples".into(), Json::Num(samples.len() as f64)),
+        ("mean".into(), Json::Num(mean)),
+        ("max".into(), Json::Num(max)),
+    ])
+}
+
+/// Runs the closed-loop load phase; returns the client-side histograms,
+/// the final `/stats` document scraped from the server, and the sampled
+/// queue-depth / slow-log occupancy gauges.
+fn load_phase(config: &Config, addr: SocketAddr) -> (ClientSide, Json, LoadSamples) {
     let specs = xmlvec::data::workload();
     let bodies: Vec<String> = specs
         .iter()
@@ -256,6 +283,43 @@ fn load_phase(config: &Config, addr: SocketAddr) -> (ClientSide, Json) {
         stats: Histogram::new(),
         metrics: Histogram::new(),
         healthz: Histogram::new(),
+    };
+    // Sampler: polls `/stats` on its own connection while the clients
+    // hammer `/query`, recording the queue-depth proxy and the slow-log
+    // occupancy so the report shows how loaded the pool actually got.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::new(addr);
+            let mut samples = LoadSamples {
+                queue_depth: Vec::new(),
+                slowlog_entries: Vec::new(),
+            };
+            while !stop.load(Ordering::Relaxed) {
+                let (status, body) = client.request("GET", "/stats", "");
+                if status == 200 {
+                    if let Ok(stats) = xmlvec::core::json::parse(&body) {
+                        if let Some(depth) = stats
+                            .get("server")
+                            .and_then(|s| s.get("queue_depth"))
+                            .and_then(Json::as_u64)
+                        {
+                            samples.queue_depth.push(depth as f64);
+                        }
+                        if let Some(entries) = stats
+                            .get("slowlog")
+                            .and_then(|s| s.get("entries"))
+                            .and_then(Json::as_u64)
+                        {
+                            samples.slowlog_entries.push(entries as f64);
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            samples
+        })
     };
     let started = Instant::now();
     std::thread::scope(|scope| {
@@ -290,6 +354,11 @@ fn load_phase(config: &Config, addr: SocketAddr) -> (ClientSide, Json) {
         }
     });
     let elapsed = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let samples = sampler.join().unwrap_or_else(|_| {
+        eprintln!("bench_serve: sampler thread panicked");
+        exit(1);
+    });
     let total =
         side.query.count() + side.stats.count() + side.metrics.count() + side.healthz.count();
     println!(
@@ -300,16 +369,30 @@ fn load_phase(config: &Config, addr: SocketAddr) -> (ClientSide, Json) {
         total as f64 / elapsed
     );
 
-    let (status, metrics) = warm.request("GET", "/metrics", "");
+    let (status, stats) = warm.request("GET", "/stats", "");
+    if status != 200 {
+        eprintln!("bench_serve: final /stats scrape failed ({status})");
+        exit(1);
+    }
+    let scraped = xmlvec::core::json::parse(&stats).unwrap_or_else(|e| {
+        eprintln!("bench_serve: /stats is not JSON: {e}");
+        exit(1);
+    });
+    // The Prometheus endpoint must always serve a parseable exposition;
+    // failing the bench here catches format regressions at full load.
+    let (status, exposition) = warm.request("GET", "/metrics", "");
     if status != 200 {
         eprintln!("bench_serve: final /metrics scrape failed ({status})");
         exit(1);
     }
-    let scraped = xmlvec::core::json::parse(&metrics).unwrap_or_else(|e| {
-        eprintln!("bench_serve: /metrics is not JSON: {e}");
-        exit(1);
-    });
-    (side, scraped)
+    match xmlvec::obs::prom::validate_exposition(&exposition) {
+        Ok(series) => println!("metrics: {series} series, exposition format ok"),
+        Err(e) => {
+            eprintln!("bench_serve: /metrics exposition invalid: {e}");
+            exit(1);
+        }
+    }
+    (side, scraped, samples)
 }
 
 /// The per-dataset two-document join: the same corpus under the names
@@ -483,7 +566,7 @@ fn main() {
         config.threads
     );
 
-    let (side, scraped_metrics) = load_phase(&config, addr);
+    let (side, scraped_stats, samples) = load_phase(&config, addr);
 
     let mut stop = Client::new(addr);
     let (status, _) = stop.request("POST", "/shutdown", "");
@@ -534,7 +617,17 @@ fn main() {
         ),
         ("stores".into(), Json::Array(store_rows)),
         ("client_latency".into(), client_side),
-        ("server_metrics".into(), scraped_metrics),
+        ("server_stats".into(), scraped_stats),
+        (
+            "load_samples".into(),
+            Json::Object(vec![
+                ("queue_depth".into(), sample_row(&samples.queue_depth)),
+                (
+                    "slowlog_entries".into(),
+                    sample_row(&samples.slowlog_entries),
+                ),
+            ]),
+        ),
         ("reduce".into(), Json::Array(reduce_rows)),
     ]);
     if let Err(e) = std::fs::write(&config.out, to_string_pretty(&report)) {

@@ -45,7 +45,7 @@ const USAGE: &str = "usage:
   vx query <store-dir> <xquery> [--out values|xml] [--profile | --profile-json]
   vx explain <store-dir> <xquery> [--plan hash|inl|merge] [--no-indexes]
   vx reconstruct <store-dir> [--out <file>]
-  vx serve <store-dir>... [--addr HOST:PORT] [--threads N]
+  vx serve <store-dir>... [--addr HOST:PORT] [--threads N] [--slow-ms N]
 
 ingest options:
   --auto       per-vector encoding choice: value index at >= 64 records,
@@ -84,7 +84,9 @@ reconstruct options:
 
 serve options:
   --addr HOST:PORT  listen address (default 127.0.0.1:8080; port 0 picks a free port)
-  --threads N       worker threads (default: available parallelism, capped at 8)";
+  --threads N       worker threads (default: available parallelism, capped at 8)
+  --slow-ms N       slow-query flight-recorder threshold in milliseconds
+                    (default: 100, or VX_SLOW_MS; 0 records every query)";
 
 /// Operational failure: the command was well-formed but could not be
 /// carried out (missing store, damaged file, bad query, I/O error).
@@ -757,6 +759,7 @@ fn serve(args: &[String]) {
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get().min(8))
         .unwrap_or(4);
+    let mut options = xmlvec::serve::ServeOptions::from_env();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -775,6 +778,12 @@ fn serve(args: &[String]) {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| fail_usage("serve: --threads needs a positive integer"));
             }
+            "--slow-ms" => {
+                i += 1;
+                options.slow_ms = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    fail_usage("serve: --slow-ms needs a millisecond count (0 records all)")
+                });
+            }
             flag if flag.starts_with('-') => fail_usage(format!("serve: unknown flag `{flag}`")),
             _ => positional.push(&args[i]),
         }
@@ -784,7 +793,8 @@ fn serve(args: &[String]) {
         fail_usage("serve: expected at least one <store-dir>");
     }
     let dirs: Vec<&Path> = positional.iter().map(|s| Path::new(s.as_str())).collect();
-    let server = xmlvec::serve::Server::bind(&dirs, &addr, threads).unwrap_or_else(|e| fail(e));
+    let server = xmlvec::serve::Server::bind_with(&dirs, &addr, threads, &options)
+        .unwrap_or_else(|e| fail(e));
     // The readiness line carries the resolved address (port 0 binds an
     // ephemeral port); scripts parse it before their first request.
     let line = format!(

@@ -232,6 +232,100 @@ fn profile_json_schema_holds() {
     );
 }
 
+/// [`xmlvec::obs::Histogram`] under 8 concurrent writers: no recorded
+/// value is lost, and the quantile estimates stay within the documented
+/// ≤12.5% relative-error bound of the exact quantiles of the known
+/// distribution every thread contributed to.
+#[test]
+fn histogram_concurrent_writers_hold_the_error_bound() {
+    use xmlvec::obs::Histogram;
+
+    const WRITERS: usize = 8;
+    const PER_WRITER: usize = 5_000;
+    let hist = Histogram::new();
+
+    // Every thread records the same deterministic skewed distribution
+    // (i² spreads values from 1µs to 25s across the bucket decades), so
+    // the merged multiset's exact quantiles are computable in-test.
+    let value = |i: usize| (i as u64 + 1) * (i as u64 + 1);
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let hist = &hist;
+            scope.spawn(move || {
+                // A coprime stride (10·writer+3 is odd and not a
+                // multiple of 5, so gcd with 5000 = 2³·5⁴ is 1) walks a
+                // different permutation per thread: the interleaving
+                // varies while the multiset stays identical.
+                let stride = 10 * writer + 3;
+                for i in 0..PER_WRITER {
+                    hist.record_us(value((i * stride) % PER_WRITER));
+                }
+            });
+        }
+    });
+
+    assert_eq!(hist.count(), (WRITERS * PER_WRITER) as u64, "lost updates");
+    let mut exact: Vec<u64> = Vec::with_capacity(WRITERS * PER_WRITER);
+    for _ in 0..WRITERS {
+        exact.extend((0..PER_WRITER).map(value));
+    }
+    exact.sort_unstable();
+    assert_eq!(hist.sum_us(), exact.iter().sum::<u64>(), "lost sum");
+    assert_eq!(hist.max_us(), *exact.last().unwrap());
+
+    for q in [0.25, 0.5, 0.9, 0.99, 0.999] {
+        let estimated = hist.quantile_us(q) as f64;
+        let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+        let true_value = exact[rank - 1] as f64;
+        let error = (estimated - true_value).abs() / true_value;
+        assert!(
+            error <= 0.125,
+            "q={q}: estimate {estimated} vs exact {true_value} (error {:.1}%)",
+            error * 100.0
+        );
+    }
+}
+
+/// The Prometheus bucket projection: `cumulative_us` produces a
+/// monotone non-decreasing series, the final bound's count never
+/// exceeds the total (observations above every bound live only in
+/// +Inf), and each cumulative count is a true lower bound — every
+/// observation ≤ an exported bound was recorded at or under it.
+#[test]
+fn histogram_prometheus_buckets_are_monotone_and_consistent() {
+    use xmlvec::obs::registry::LATENCY_BOUNDS_US;
+    use xmlvec::obs::Histogram;
+
+    let hist = Histogram::new();
+    let values: Vec<u64> = (0..2_000).map(|i| (i * i) % 7_000_000 + 1).collect();
+    for &v in &values {
+        hist.record_us(v);
+    }
+
+    let cumulative = hist.cumulative_us(&LATENCY_BOUNDS_US);
+    assert_eq!(cumulative.len(), LATENCY_BOUNDS_US.len());
+    for pair in cumulative.windows(2) {
+        assert!(
+            pair[0] <= pair[1],
+            "buckets must be cumulative: {cumulative:?}"
+        );
+    }
+    assert!(
+        *cumulative.last().unwrap() <= hist.count(),
+        "+Inf (count) is the ceiling"
+    );
+    // Lower-bound property per exported bound: the histogram can
+    // under-report a bucket (values land in a log bucket whose upper
+    // edge exceeds the bound) but must never over-report it.
+    for (bound, cum) in LATENCY_BOUNDS_US.iter().zip(&cumulative) {
+        let exact = values.iter().filter(|&&v| v <= *bound).count() as u64;
+        assert!(
+            *cum <= exact,
+            "bound {bound}us: cumulative {cum} exceeds exact {exact}"
+        );
+    }
+}
+
 /// `vx query | head`: the reader hanging up mid-stream is a success, not
 /// an error — the CLI maps `BrokenPipe` on stdout to exit 0.
 #[test]
